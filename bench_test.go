@@ -1,0 +1,275 @@
+// Package repro benchmarks every experiment of the paper: one benchmark per
+// Table I row family (protocol synthesis per code and method) and one per
+// Fig. 4 series (noise-simulation throughput and full stratified estimates),
+// plus ablation benchmarks for the design choices called out in DESIGN.md.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/code"
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/f2"
+	"repro/internal/noise"
+	"repro/internal/prep"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// ---------------------------------------------------------------------------
+// Table I: deterministic FT protocol synthesis, one sub-benchmark per code.
+// go test -bench 'BenchmarkTable1' regenerates the full set of rows.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable1HeuOpt(b *testing.B) {
+	for _, cs := range code.Catalog() {
+		cs := cs
+		b.Run(cs.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := core.Build(cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := p.ComputeMetrics()
+				b.ReportMetric(float64(m.SumCNOT), "ΣCNOT")
+				b.ReportMetric(m.AvgCNOT, "∅CNOT")
+			}
+		})
+	}
+}
+
+func BenchmarkTable1OptPrep(b *testing.B) {
+	// The paper reports Opt rows only for the smaller instances.
+	for _, cs := range []*code.CSS{code.Steane(), code.Shor()} {
+		cs := cs
+		b.Run(cs.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(cs, core.Config{Prep: core.PrepOptimal}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1Global(b *testing.B) {
+	for _, cs := range []*code.CSS{code.Steane(), code.Shor(), code.Surface3(), code.CSS11()} {
+		cs := cs
+		b.Run(cs.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(cs, core.Config{Verif: core.VerifGlobal, GlobalLimit: 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4: logical error rate evaluation.
+// BenchmarkFig4Shot measures single-shot Monte-Carlo throughput per code;
+// BenchmarkFig4Estimate runs the complete stratified estimator per code.
+// ---------------------------------------------------------------------------
+
+var protoCache sync.Map // code name -> *core.Protocol
+
+func cachedProtocol(b *testing.B, cs *code.CSS) *core.Protocol {
+	b.Helper()
+	if p, ok := protoCache.Load(cs.Name); ok {
+		return p.(*core.Protocol)
+	}
+	p, err := core.Build(cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	protoCache.Store(cs.Name, p)
+	return p
+}
+
+func BenchmarkFig4Shot(b *testing.B) {
+	for _, cs := range code.Catalog() {
+		cs := cs
+		b.Run(cs.Name, func(b *testing.B) {
+			p := cachedProtocol(b, cs)
+			est := sim.NewEstimator(p)
+			rng := rand.New(rand.NewSource(1))
+			inj := &noise.Depolarizing{P: 0.01, Rng: rng}
+			b.ResetTimer()
+			fails := 0
+			for i := 0; i < b.N; i++ {
+				if est.Judge(sim.Run(p, inj)) {
+					fails++
+				}
+			}
+			b.ReportMetric(float64(fails)/float64(b.N), "pL@1e-2")
+		})
+	}
+}
+
+func BenchmarkFig4Estimate(b *testing.B) {
+	for _, cs := range []*code.CSS{code.Steane(), code.Surface3(), code.Carbon()} {
+		cs := cs
+		b.Run(cs.Name, func(b *testing.B) {
+			p := cachedProtocol(b, cs)
+			est := sim.NewEstimator(p)
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := est.FaultOrder(2, 2000, rng)
+				b.ReportMetric(res.Rate(1e-3)*1e6, "pL@1e-3·1e6")
+			}
+		})
+	}
+}
+
+// BenchmarkFTCertificate measures the exhaustive single-fault check that
+// backs the fault-tolerance claim of every Fig. 4 series.
+func BenchmarkFTCertificate(b *testing.B) {
+	for _, cs := range []*code.CSS{code.Steane(), code.Surface3(), code.Carbon()} {
+		cs := cs
+		b.Run(cs.Name, func(b *testing.B) {
+			p := cachedProtocol(b, cs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sim.ExhaustiveFaultCheck(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md): encoding and protocol design choices.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationPairPruning compares correction synthesis with and
+// without the precomputed incompatible-pair clauses.
+func BenchmarkAblationPairPruning(b *testing.B) {
+	cs := code.ReedMuller15()
+	circ := prep.Heuristic(cs)
+	ex := verify.DangerousErrors(cs, circ, code.ErrX)
+	ver, err := verify.Synthesize(cs.DetectionGroup(code.ErrX), ex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	class := triggeredClass(cs, circ, ver)
+	for _, tc := range []struct {
+		name string
+		opt  correct.Options
+	}{
+		{"with-pruning", correct.Options{}},
+		{"no-pruning", correct.Options{NoPairPruning: true}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := correct.Synthesize(cs.DetectionGroup(code.ErrX), cs.ReductionGroup(code.ErrX), class, tc.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFlagAll compares the hook strategy: CNOT-order defusal
+// plus selective flags (paper) versus flagging every measurement.
+func BenchmarkAblationFlagAll(b *testing.B) {
+	cs := code.Carbon()
+	for _, tc := range []struct {
+		name    string
+		flagAll bool
+	}{
+		{"selective-flags", false},
+		{"flag-all", true},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := core.Build(cs, core.Config{FlagAll: tc.flagAll})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := p.ComputeMetrics()
+				b.ReportMetric(float64(m.SumAnc), "ΣANC")
+				b.ReportMetric(float64(m.SumCNOT), "ΣCNOT")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCardinality compares the three at-most-k encodings
+// (pairwise at-most-one, sequential counter, totalizer) on a representative
+// instance.
+func BenchmarkAblationCardinality(b *testing.B) {
+	build := func(kind string) (ok bool) {
+		bd := cnf.NewBuilder()
+		xs := bd.NewVars(24)
+		switch kind {
+		case "pairwise":
+			bd.AtMostOne(xs...)
+		case "seq-counter":
+			bd.AtMostK(xs, 1)
+		case "totalizer":
+			bd.AtMostKTotalizer(xs, 1)
+		}
+		bd.AtLeastK(xs, 1)
+		sat, err := bd.Solve()
+		return err == nil && sat
+	}
+	for _, kind := range []string{"pairwise", "seq-counter", "totalizer"} {
+		kind := kind
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !build(kind) {
+					b.Fatal("instance should be SAT")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrepSynthesis compares the heuristic and optimal encoders.
+func BenchmarkPrepSynthesis(b *testing.B) {
+	b.Run("heuristic-tesseract", func(b *testing.B) {
+		cs := code.Tesseract()
+		for i := 0; i < b.N; i++ {
+			prep.Heuristic(cs)
+		}
+	})
+	b.Run("optimal-steane", func(b *testing.B) {
+		cs := code.Steane()
+		for i := 0; i < b.N; i++ {
+			if prep.Optimal(cs, 0) == nil {
+				b.Fatal("optimal synthesis gave up")
+			}
+		}
+	})
+}
+
+// triggeredClass reproduces the error class of the first verification branch
+// (shared helper for ablation benchmarks): all X coset representatives with
+// odd overlap with the first verification measurement, plus the zero error.
+func triggeredClass(cs *code.CSS, circ *circuit.Circuit, ver *verify.Result) []f2.Vec {
+	stab := ver.Stabs[0]
+	seen := map[string]bool{}
+	class := []f2.Vec{f2.NewVec(cs.N)}
+	seen[class[0].Key()] = true
+	for _, ft := range circ.SingleFaults() {
+		if ft.Final.X.IsZero() {
+			continue
+		}
+		rep := cs.CosetRep(code.ErrX, ft.Final.X)
+		if stab.Dot(rep) != 1 || seen[rep.Key()] {
+			continue
+		}
+		seen[rep.Key()] = true
+		class = append(class, rep)
+	}
+	return class
+}

@@ -1,0 +1,84 @@
+// Command table1 regenerates Table I of the paper: circuit metrics of the
+// synthesized deterministic fault-tolerant state preparation protocols for
+// |0>_L of every catalog code, across preparation (Heu/Opt) and
+// verification (Opt/Global) synthesis methods.
+//
+// Usage:
+//
+//	table1                 # all codes, Heu prep, Opt verification
+//	table1 -all            # additionally Opt prep and Global rows (slower)
+//	table1 -codes Steane,Shor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/code"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		codesFlag = flag.String("codes", "", "comma-separated code names (default: all)")
+		all       = flag.Bool("all", false, "run every prep/verification method combination")
+		check     = flag.Bool("check", false, "print build time per row")
+	)
+	flag.Parse()
+
+	codes := code.Catalog()
+	if *codesFlag != "" {
+		codes = nil
+		for _, name := range strings.Split(*codesFlag, ",") {
+			c, err := code.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			codes = append(codes, c)
+		}
+	}
+
+	type method struct {
+		prep  core.PrepMethod
+		verif core.VerifMethod
+		maxN  int // largest code the method is attempted on
+	}
+	methods := []method{{core.PrepHeuristic, core.VerifOptimal, 1 << 30}}
+	if *all {
+		// Mirror the paper: exact preparation synthesis and global
+		// optimization are only run where tractable.
+		methods = append(methods,
+			method{core.PrepHeuristic, core.VerifGlobal, 12},
+			method{core.PrepOptimal, core.VerifOptimal, 9},
+			method{core.PrepOptimal, core.VerifGlobal, 9},
+		)
+	}
+
+	fmt.Println("Table I — deterministic FT state preparation circuit metrics for |0>_L")
+	fmt.Println("(per layer: am/af = verification/flag ancillas, wm/wf = their CNOTs;")
+	fmt.Println(" corr lists ancillas/CNOTs per branch, 'f' marks flag branches)")
+	fmt.Println()
+	for _, cs := range codes {
+		for _, m := range methods {
+			if cs.N > m.maxN {
+				continue
+			}
+			t0 := time.Now()
+			p, err := core.Build(cs, core.Config{Prep: m.prep, Verif: m.verif})
+			if err != nil {
+				fmt.Printf("%-12s %s/%s: ERROR: %v\n", cs.Name, m.prep, m.verif, err)
+				continue
+			}
+			row := p.ComputeMetrics()
+			fmt.Printf("%-4s/%-6s %s", m.prep, m.verif, row.FormatRow())
+			if *check {
+				fmt.Printf("  [%.1fs]", time.Since(t0).Seconds())
+			}
+			fmt.Println()
+		}
+	}
+}

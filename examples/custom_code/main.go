@@ -1,0 +1,45 @@
+// Custom-code pipeline: discover a fresh CSS code with the randomized
+// search, compute its logicals and distance exactly, and push it through the
+// full deterministic-FT synthesis — the "codes not considered in this work"
+// use case the paper's conclusion advertises.
+//
+//	go run ./examples/custom_code
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/code"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	// Find a [[10,1,3]] CSS code nobody hand-designed. The search certifies
+	// the distance exactly before returning.
+	fmt.Println("searching for a [[10,1,3]] CSS code...")
+	cs := code.Search(code.SearchOptions{
+		N: 10, K: 1, D: 3, RankX: 4,
+		MinStabWeight: 2, Seed: 12345, MaxTries: 2_000_000,
+	})
+	if cs == nil {
+		log.Fatal("search budget exhausted (unexpected for these parameters)")
+	}
+	cs.Name = "found-[[10,1,3]]"
+	fmt.Printf("found %s\nHx:\n%v\nHz:\n%v\n", cs.Params(), cs.Hx, cs.Hz)
+
+	// Synthesize and certify its deterministic FT preparation.
+	proto, err := core.Build(cs, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("protocol:", proto)
+	fmt.Println(proto.ComputeMetrics().FormatRow())
+
+	if err := sim.ExhaustiveFaultCheck(proto); err != nil {
+		log.Fatal("FT check failed: ", err)
+	}
+	fmt.Printf("FT certificate passed over %d locations — a brand-new code,\n", sim.Locations(proto))
+	fmt.Println("fault-tolerantly preparable with zero manual circuit design.")
+}

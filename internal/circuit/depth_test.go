@@ -1,0 +1,69 @@
+package circuit
+
+import "testing"
+
+func TestDepthSequentialVsParallel(t *testing.T) {
+	// Two CNOTs on disjoint pairs: depth 1 each -> total 1.
+	c := New(4)
+	c.AppendCNOT(0, 1)
+	c.AppendCNOT(2, 3)
+	if d := c.Depth(); d != 1 {
+		t.Fatalf("parallel CNOTs depth = %d, want 1", d)
+	}
+	// A chain shares qubits: depth equals length.
+	c2 := New(4)
+	c2.AppendCNOT(0, 1)
+	c2.AppendCNOT(1, 2)
+	c2.AppendCNOT(2, 3)
+	if d := c2.Depth(); d != 3 {
+		t.Fatalf("chain depth = %d, want 3", d)
+	}
+}
+
+func TestDepthWithPrepAndMeasure(t *testing.T) {
+	c := New(2)
+	c.AppendPrepZ(0)   // step 1 on wire 0
+	c.AppendPrepX(1)   // step 1 on wire 1
+	c.AppendCNOT(0, 1) // step 2
+	c.AppendMeasZ(1)   // step 3 on wire 1
+	if d := c.Depth(); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+}
+
+func TestMomentsPartitionGates(t *testing.T) {
+	c := New(3)
+	c.AppendPrepZ(0)
+	c.AppendPrepZ(1)
+	c.AppendPrepZ(2)
+	c.AppendCNOT(0, 1)
+	c.AppendCNOT(1, 2)
+	moments := c.Moments()
+	if len(moments) != c.Depth() {
+		t.Fatalf("moment count %d != depth %d", len(moments), c.Depth())
+	}
+	total := 0
+	for mi, m := range moments {
+		used := map[int]bool{}
+		for _, g := range m {
+			if used[g.Q] || (g.Kind == CNOT && used[g.Q2]) {
+				t.Fatalf("moment %d has overlapping gates", mi)
+			}
+			used[g.Q] = true
+			if g.Kind == CNOT {
+				used[g.Q2] = true
+			}
+		}
+		total += len(m)
+	}
+	if total != len(c.Gates) {
+		t.Fatalf("moments contain %d gates, circuit has %d", total, len(c.Gates))
+	}
+}
+
+func TestEmptyCircuitDepth(t *testing.T) {
+	c := New(3)
+	if c.Depth() != 0 || len(c.Moments()) != 0 {
+		t.Fatal("empty circuit should have depth 0")
+	}
+}

@@ -1,0 +1,289 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sat"
+)
+
+func TestConstants(t *testing.T) {
+	b := NewBuilder()
+	tr, fa := b.True(), b.False()
+	ok, _ := b.Solve()
+	if !ok {
+		t.Fatal("constants alone must be SAT")
+	}
+	if !b.Val(tr) || b.Val(fa) {
+		t.Fatal("constant values wrong")
+	}
+}
+
+func TestXorTruthTable(t *testing.T) {
+	for mask := 0; mask < 8; mask++ {
+		b := NewBuilder()
+		xs := b.NewVars(3)
+		for i, x := range xs {
+			if mask>>i&1 == 1 {
+				b.AddClause(x)
+			} else {
+				b.AddClause(x.Neg())
+			}
+		}
+		p := b.Xor(xs...)
+		ok, _ := b.Solve()
+		if !ok {
+			t.Fatalf("mask %d: unsat", mask)
+		}
+		wantParity := (mask&1 ^ mask>>1&1 ^ mask>>2&1) == 1
+		if b.Val(p) != wantParity {
+			t.Fatalf("mask %d: parity = %v, want %v", mask, b.Val(p), wantParity)
+		}
+	}
+}
+
+func TestXorEmptyAndSingle(t *testing.T) {
+	b := NewBuilder()
+	if p := b.Xor(); p != b.False() {
+		// Force evaluation through solving.
+		b.AddClause(p)
+		if ok, _ := b.Solve(); ok {
+			t.Fatal("empty xor should be the false literal")
+		}
+	}
+	b2 := NewBuilder()
+	x := b2.NewVar()
+	if b2.Xor(x) != x {
+		t.Fatal("single xor should be identity")
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.NewVar(), b.NewVar()
+	a := b.And(x, y)
+	o := b.Or(x, y)
+	b.AddClause(x)
+	b.AddClause(y.Neg())
+	ok, _ := b.Solve()
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if b.Val(a) || !b.Val(o) {
+		t.Fatalf("and=%v or=%v, want false,true", b.Val(a), b.Val(o))
+	}
+}
+
+func countModels(t *testing.T, build func(b *Builder) []sat.Lit) int {
+	t.Helper()
+	b := NewBuilder()
+	lits := build(b)
+	n, err := b.EnumerateModels(lits, 0, func([]bool) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAtMostKModelCounts(t *testing.T) {
+	// Number of assignments of n variables with at most k ones: sum of
+	// binomials.
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for _, tc := range []struct{ n, k int }{{4, 1}, {4, 2}, {5, 3}, {6, 2}, {5, 0}} {
+		want := 0
+		for j := 0; j <= tc.k; j++ {
+			want += binom(tc.n, j)
+		}
+		got := countModels(t, func(b *Builder) []sat.Lit {
+			xs := b.NewVars(tc.n)
+			b.AtMostK(xs, tc.k)
+			return xs
+		})
+		if got != want {
+			t.Fatalf("AtMost%d over %d vars: %d models, want %d", tc.k, tc.n, got, want)
+		}
+	}
+}
+
+func TestAtLeastKExactlyK(t *testing.T) {
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	got := countModels(t, func(b *Builder) []sat.Lit {
+		xs := b.NewVars(5)
+		b.AtLeastK(xs, 4)
+		return xs
+	})
+	if want := binom(5, 4) + binom(5, 5); got != want {
+		t.Fatalf("AtLeast4/5: %d models, want %d", got, want)
+	}
+	got = countModels(t, func(b *Builder) []sat.Lit {
+		xs := b.NewVars(6)
+		b.ExactlyK(xs, 3)
+		return xs
+	})
+	if want := binom(6, 3); got != want {
+		t.Fatalf("Exactly3/6: %d models, want %d", got, want)
+	}
+}
+
+func TestAtMostOne(t *testing.T) {
+	got := countModels(t, func(b *Builder) []sat.Lit {
+		xs := b.NewVars(5)
+		b.AtMostOne(xs...)
+		return xs
+	})
+	if got != 6 {
+		t.Fatalf("AtMostOne over 5 vars: %d models, want 6", got)
+	}
+}
+
+func TestAtMostOneGuarded(t *testing.T) {
+	// With the guard false the constraint is vacuous.
+	b := NewBuilder()
+	g := b.NewVar()
+	xs := b.NewVars(3)
+	b.AtMostOneGuarded(g, xs...)
+	b.AddClause(g.Neg())
+	for _, x := range xs {
+		b.AddClause(x)
+	}
+	if ok, _ := b.Solve(); !ok {
+		t.Fatal("guard false should disable the constraint")
+	}
+	// With the guard true it binds.
+	b2 := NewBuilder()
+	g2 := b2.NewVar()
+	ys := b2.NewVars(3)
+	b2.AtMostOneGuarded(g2, ys...)
+	b2.AddClause(g2)
+	for _, y := range ys {
+		b2.AddClause(y)
+	}
+	if ok, _ := b2.Solve(); ok {
+		t.Fatal("guard true must enforce at-most-one")
+	}
+}
+
+func TestImpliesEquiv(t *testing.T) {
+	b := NewBuilder()
+	g, x := b.NewVar(), b.NewVar()
+	b.Implies(g, x)
+	b.AddClause(g)
+	b.AddClause(x.Neg())
+	if ok, _ := b.Solve(); ok {
+		t.Fatal("implication violated")
+	}
+	b2 := NewBuilder()
+	p, q := b2.NewVar(), b2.NewVar()
+	b2.Equiv(p, q)
+	b2.AddClause(p)
+	ok, _ := b2.Solve()
+	if !ok || !b2.Val(q) {
+		t.Fatal("equivalence should force q")
+	}
+}
+
+// Property: for random n, k and random forced assignments, AtMostK is
+// satisfiable exactly when the number of forced-true literals is <= k.
+func TestAtMostKForcedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		k := rng.Intn(n + 1)
+		b := NewBuilder()
+		xs := b.NewVars(n)
+		ones := 0
+		for _, x := range xs {
+			if rng.Intn(2) == 1 {
+				b.AddClause(x)
+				ones++
+			} else {
+				b.AddClause(x.Neg())
+			}
+		}
+		b.AtMostK(xs, k)
+		ok, err := b.Solve()
+		if err != nil {
+			return false
+		}
+		return ok == (ones <= k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Xor literal equals parity of random forced assignment.
+func TestXorForcedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		b := NewBuilder()
+		xs := b.NewVars(n)
+		parity := false
+		for _, x := range xs {
+			if rng.Intn(2) == 1 {
+				b.AddClause(x)
+				parity = !parity
+			} else {
+				b.AddClause(x.Neg())
+			}
+		}
+		p := b.Xor(xs...)
+		ok, err := b.Solve()
+		if err != nil || !ok {
+			return false
+		}
+		return b.Val(p) == parity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateModelsLimit(t *testing.T) {
+	b := NewBuilder()
+	xs := b.NewVars(4) // 16 models
+	n, err := b.EnumerateModels(xs, 5, func([]bool) bool { return true })
+	if err != nil || n != 5 {
+		t.Fatalf("limit ignored: n=%d err=%v", n, err)
+	}
+}
+
+func TestEnumerateModelsDistinct(t *testing.T) {
+	b := NewBuilder()
+	xs := b.NewVars(3)
+	seen := map[[3]bool]bool{}
+	_, err := b.EnumerateModels(xs, 0, func(vals []bool) bool {
+		key := [3]bool{vals[0], vals[1], vals[2]}
+		if seen[key] {
+			t.Fatal("duplicate model enumerated")
+		}
+		seen[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("enumerated %d models, want 8", len(seen))
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/code"
+	"repro/internal/f2"
+)
+
+func TestSteaneProtocolMatchesTableI(t *testing.T) {
+	p, err := Build(code.Steane(), Config{Prep: PrepHeuristic, Verif: VerifOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.ComputeMetrics()
+	if len(m.Layers) != 1 {
+		t.Fatalf("Steane needs one layer, got %d", len(m.Layers))
+	}
+	l := m.Layers[0]
+	if l.AncM != 1 || l.CNOTM != 3 || l.AncF != 0 {
+		t.Fatalf("verification: am=%d wm=%d af=%d, want 1,3,0", l.AncM, l.CNOTM, l.AncF)
+	}
+	if len(l.Branches) != 1 || l.Branches[0].Anc != 1 || l.Branches[0].CNOTs != 3 {
+		t.Fatalf("correction branches %v, want single [1]/[3]", l.Branches)
+	}
+	if m.SumAnc != 1 || m.SumCNOT != 3 {
+		t.Fatalf("totals %d/%d, want 1/3", m.SumAnc, m.SumCNOT)
+	}
+	if m.AvgAnc != 1 || m.AvgCNOT != 3 {
+		t.Fatalf("averages %.2f/%.2f, want 1/3", m.AvgAnc, m.AvgCNOT)
+	}
+}
+
+func TestSteaneOptPrep(t *testing.T) {
+	p, err := Build(code.Steane(), Config{Prep: PrepOptimal, Verif: VerifOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Prep.CNOTCount(); got != 8 {
+		t.Fatalf("optimal Steane prep has %d CNOTs, want 8", got)
+	}
+	m := p.ComputeMetrics()
+	if m.Layers[0].AncM != 1 || m.Layers[0].CNOTM != 3 {
+		t.Fatalf("verification after optimal prep: %+v", m.Layers[0])
+	}
+}
+
+func TestSingleLayerCodes(t *testing.T) {
+	// For these codes, the zero state admits a single verification layer:
+	// either no dangerous Z errors exist (Steane, Surface) or all Z errors
+	// are stabilizer-equivalent to weight <= 1 (Shor's GHZ blocks,
+	// ReedMuller15's Z-heavy stabilizer group).
+	for _, cs := range []*code.CSS{code.Steane(), code.Shor(), code.Surface3(), code.ReedMuller15(), code.Hamming15()} {
+		p, err := Build(cs, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", cs.Name, err)
+		}
+		if len(p.Layers) != 1 {
+			t.Fatalf("%s: %d layers, want 1", cs.Name, len(p.Layers))
+		}
+		if p.Layers[0].Detects != code.ErrX {
+			t.Fatalf("%s: first layer detects %v", cs.Name, p.Layers[0].Detects)
+		}
+	}
+}
+
+func TestTwoLayerCodes(t *testing.T) {
+	for _, cs := range []*code.CSS{code.CSS11(), code.Carbon()} {
+		p, err := Build(cs, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", cs.Name, err)
+		}
+		if len(p.Layers) != 2 {
+			t.Fatalf("%s: %d layers, want 2", cs.Name, len(p.Layers))
+		}
+		if p.Layers[1].Detects != code.ErrZ {
+			t.Fatalf("%s: second layer detects %v", cs.Name, p.Layers[1].Detects)
+		}
+		// The last layer must flag every measurement with dangerous hooks;
+		// at least the classes must cover every reachable signature (the
+		// exhaustive FT check in internal/sim validates the rest).
+		if len(p.Layers[1].Classes) == 0 {
+			t.Fatalf("%s: second layer has no correction classes", cs.Name)
+		}
+	}
+}
+
+func TestVerificationMeasuresStateStabilizers(t *testing.T) {
+	p, err := Build(code.CSS11(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := p.Code
+	for li, l := range p.Layers {
+		det := cs.DetectionGroup(l.Detects)
+		for mi, m := range l.Verif {
+			if !det.InSpan(m.Stab) {
+				t.Fatalf("layer %d measurement %d outside the detection group", li, mi)
+			}
+			if m.Kind != l.Detects.Opposite() {
+				t.Fatalf("layer %d measurement %d has operator type %v", li, mi, m.Kind)
+			}
+		}
+	}
+}
+
+func TestCorrectionBlocksWellFormed(t *testing.T) {
+	p, err := Build(code.Carbon(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, l := range p.Layers {
+		det := p.Code.DetectionGroup(l.Detects)
+		hookDet := p.Code.DetectionGroup(l.Detects.Opposite())
+		for key, cc := range l.Classes {
+			if cc.Primary == nil {
+				t.Fatalf("layer %d class %s lacks a primary block", li, key)
+			}
+			for _, s := range cc.Primary.Stabs {
+				if !det.InSpan(s) {
+					t.Fatalf("layer %d class %s primary stab outside group", li, key)
+				}
+			}
+			if cc.Hook != nil {
+				for _, s := range cc.Hook.Stabs {
+					if !hookDet.InSpan(s) {
+						t.Fatalf("layer %d class %s hook stab outside group", li, key)
+					}
+				}
+			}
+			// Flag-free classes must not carry hook corrections.
+			if !strings.Contains(cc.Sig.F, "1") && cc.Hook != nil {
+				t.Fatalf("layer %d class %s has a hook block without a flag", li, key)
+			}
+		}
+	}
+}
+
+func TestGlobalNotWorseThanOpt(t *testing.T) {
+	for _, cs := range []*code.CSS{code.Steane(), code.Shor(), code.Surface3()} {
+		opt, err := Build(cs, Config{Verif: VerifOptimal})
+		if err != nil {
+			t.Fatalf("%s opt: %v", cs.Name, err)
+		}
+		glob, err := Build(cs, Config{Verif: VerifGlobal, GlobalLimit: 8})
+		if err != nil {
+			t.Fatalf("%s global: %v", cs.Name, err)
+		}
+		mo, mg := opt.ComputeMetrics(), glob.ComputeMetrics()
+		if mg.AvgCNOT > mo.AvgCNOT+1e-9 {
+			t.Fatalf("%s: global ∅CNOT %.3f worse than opt %.3f", cs.Name, mg.AvgCNOT, mo.AvgCNOT)
+		}
+	}
+}
+
+func TestAppendMeasurementShape(t *testing.T) {
+	// Z-type weight-4 flagged measurement: 1 anc prep + 4 data CNOTs +
+	// 1 flag prep + 2 flag CNOTs + flag meas + anc meas.
+	c := circuit.New(6) // 4 data + anc + flag
+	m := Measurement{Stab: f2.FromSupport(6, 0, 1, 2, 3), Kind: code.ErrZ, Flagged: true}
+	out, fbit := AppendMeasurement(c, m, 4, 5)
+	if fbit < 0 {
+		t.Fatal("flag bit missing")
+	}
+	if out == fbit {
+		t.Fatal("bits collide")
+	}
+	cnots := c.CNOTCount()
+	if cnots != 6 {
+		t.Fatalf("flagged weight-4 measurement uses %d CNOTs, want 6", cnots)
+	}
+	if c.NumBits != 2 {
+		t.Fatalf("expected 2 classical bits, got %d", c.NumBits)
+	}
+	// Unflagged: 4 CNOTs, one bit.
+	c2 := circuit.New(5)
+	m2 := Measurement{Stab: f2.FromSupport(5, 0, 1, 2, 3), Kind: code.ErrX}
+	out2, fbit2 := AppendMeasurement(c2, m2, 4, -1)
+	if fbit2 != -1 || out2 != 0 {
+		t.Fatalf("unflagged measurement bits: %d %d", out2, fbit2)
+	}
+	if c2.CNOTCount() != 4 {
+		t.Fatalf("unflagged weight-4 measurement uses %d CNOTs", c2.CNOTCount())
+	}
+}
+
+func TestSignature(t *testing.T) {
+	s := Signature{B: "010", F: "000"}
+	if s.IsZero() {
+		t.Fatal("non-zero signature reported zero")
+	}
+	if (Signature{B: "000", F: "00"}).IsZero() == false {
+		t.Fatal("zero signature reported non-zero")
+	}
+	if s.Key() != "010|000" {
+		t.Fatalf("key = %q", s.Key())
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if PrepHeuristic.String() != "Heu" || PrepOptimal.String() != "Opt" {
+		t.Fatal("prep method strings")
+	}
+	if VerifOptimal.String() != "Opt" || VerifGlobal.String() != "Global" {
+		t.Fatal("verif method strings")
+	}
+}
+
+func TestChooseOrderDefusesSteaneHooks(t *testing.T) {
+	cs := code.Steane()
+	// The weight-3 logical Z measurement has only benign hooks for a
+	// correct ordering (suffixes reduce via Z_L).
+	zl := f2.FromSupport(7, 0, 1, 2)
+	_, dangerous := chooseOrder(cs, code.ErrZ, zl)
+	if dangerous != 0 {
+		t.Fatalf("Steane Z_L measurement has %d dangerous hooks", dangerous)
+	}
+}
+
+func TestBuildFromPrepRejectsWrongCircuit(t *testing.T) {
+	cs := code.Steane()
+	bad := circuit.New(7)
+	for q := 0; q < 7; q++ {
+		bad.AppendPrepZ(q) // |0000000> is not |0>_L
+	}
+	if _, err := BuildFromPrep(cs, bad, Config{}); err == nil {
+		t.Fatal("expected rejection of non-encoding circuit")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BranchMetric is the cost of one conditional correction branch.
+type BranchMetric struct {
+	Sig     Signature
+	Anc     int // additional measurements in the branch
+	CNOTs   int // their total CNOT count
+	IsFlag  bool
+	IsMixed bool // branch with both primary and hook corrections
+}
+
+// LayerMetrics summarizes one layer for Table I.
+type LayerMetrics struct {
+	Detects string
+
+	// Verification.
+	AncM  int // verification measurements (a_m)
+	AncF  int // flag ancillae (a_f)
+	CNOTM int // verification CNOTs (w_m)
+	CNOTF int // flag CNOTs (w_f)
+
+	// Conditional corrections, one entry per reachable branch.
+	Branches []BranchMetric
+}
+
+// Metrics summarizes a protocol in the shape of one Table I row.
+type Metrics struct {
+	Code      string
+	Params    string
+	PrepCNOTs int
+	Layers    []LayerMetrics
+
+	// Totals over all layers.
+	SumAnc  int // ΣANC: verification + flag ancillae
+	SumCNOT int // ΣCNOT: verification + flag CNOTs
+
+	// Branch averages (expected conditional cost per run).
+	AvgAnc  float64 // ∅ANC
+	AvgCNOT float64 // ∅CNOT
+}
+
+// ComputeMetrics extracts the Table I quantities from a protocol.
+func (p *Protocol) ComputeMetrics() Metrics {
+	m := Metrics{
+		Code:      p.Code.Name,
+		Params:    p.Code.Params(),
+		PrepCNOTs: p.Prep.CNOTCount(),
+	}
+	totalBranches := 0
+	sumBranchAnc, sumBranchCNOT := 0, 0
+	for _, l := range p.Layers {
+		lm := LayerMetrics{
+			Detects: l.Detects.String(),
+			AncM:    len(l.Verif),
+			CNOTM:   l.VerifCNOTs(),
+			AncF:    l.FlagCount(),
+			CNOTF:   2 * l.FlagCount(),
+		}
+		for _, key := range l.sortedClassKeys() {
+			cc := l.Classes[key]
+			bm := BranchMetric{Sig: cc.Sig}
+			if cc.Primary != nil {
+				bm.Anc += cc.Primary.Ancillas()
+				bm.CNOTs += cc.Primary.CNOTs()
+			}
+			if cc.Hook != nil {
+				bm.Anc += cc.Hook.Ancillas()
+				bm.CNOTs += cc.Hook.CNOTs()
+				bm.IsFlag = true
+				bm.IsMixed = cc.Primary != nil && cc.Primary.Ancillas() > 0
+			}
+			lm.Branches = append(lm.Branches, bm)
+			totalBranches++
+			sumBranchAnc += bm.Anc
+			sumBranchCNOT += bm.CNOTs
+		}
+		m.SumAnc += lm.AncM + lm.AncF
+		m.SumCNOT += lm.CNOTM + lm.CNOTF
+		m.Layers = append(m.Layers, lm)
+	}
+	if totalBranches > 0 {
+		m.AvgAnc = float64(sumBranchAnc) / float64(totalBranches)
+		m.AvgCNOT = float64(sumBranchCNOT) / float64(totalBranches)
+	}
+	return m
+}
+
+// avgCorrectionCost is the global-optimization objective: the branch-average
+// CNOT count, with the branch-average ancilla count and the verification
+// cost as tie-breakers folded in at lower significance.
+func (p *Protocol) avgCorrectionCost() float64 {
+	m := p.ComputeMetrics()
+	return m.AvgCNOT + 1e-3*m.AvgAnc + 1e-6*float64(m.SumCNOT) + 1e-9*float64(m.SumAnc)
+}
+
+// FormatRow renders the metrics as a compact single-code report.
+func (m Metrics) FormatRow() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-12s prep=%2d CNOTs | ", m.Code, m.Params, m.PrepCNOTs)
+	for i, l := range m.Layers {
+		if i > 0 {
+			sb.WriteString(" || ")
+		}
+		fmt.Fprintf(&sb, "L%d(%s): am=%d af=%d wm=%d wf=%d corr=[", i+1, l.Detects, l.AncM, l.AncF, l.CNOTM, l.CNOTF)
+		for j, b := range l.Branches {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			tag := ""
+			if b.IsFlag {
+				tag = "f"
+			}
+			fmt.Fprintf(&sb, "%d/%d%s", b.Anc, b.CNOTs, tag)
+		}
+		sb.WriteString("]")
+	}
+	fmt.Fprintf(&sb, " | ΣANC=%d ΣCNOT=%d ∅ANC=%.2f ∅CNOT=%.2f", m.SumAnc, m.SumCNOT, m.AvgAnc, m.AvgCNOT)
+	return sb.String()
+}

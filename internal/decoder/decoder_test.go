@@ -1,0 +1,79 @@
+package decoder
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/code"
+	"repro/internal/f2"
+)
+
+func TestSteaneLookup(t *testing.T) {
+	cs := code.Steane()
+	l := NewLookup(cs.Hz)
+	if l.Size() != 8 {
+		t.Fatalf("table size = %d, want 2^3", l.Size())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every weight-1 X error must decode exactly (distance 3).
+	for q := 0; q < cs.N; q++ {
+		e := f2.FromSupport(cs.N, q)
+		c := l.Decode(e)
+		if !c.Equal(e) {
+			t.Fatalf("weight-1 error on %d decoded to %v", q, c)
+		}
+	}
+	// The zero syndrome decodes to nothing.
+	if c := l.Decode(f2.NewVec(cs.N)); !c.IsZero() {
+		t.Fatalf("zero error decoded to %v", c)
+	}
+}
+
+func TestHammingLookup(t *testing.T) {
+	cs := code.Hamming15()
+	l := NewLookup(cs.Hz)
+	if l.Size() != 16 {
+		t.Fatalf("table size = %d, want 16", l.Size())
+	}
+	for q := 0; q < cs.N; q++ {
+		e := f2.FromSupport(cs.N, q)
+		if !l.Decode(e).Equal(e) {
+			t.Fatalf("weight-1 error on %d misdecoded", q)
+		}
+	}
+}
+
+func TestDecodeSyndromeDirect(t *testing.T) {
+	cs := code.Steane()
+	l := NewLookup(cs.Hz)
+	e := f2.FromSupport(cs.N, 4)
+	s := cs.Hz.MulVec(e)
+	if c := l.DecodeSyndrome(s); !c.Equal(e) {
+		t.Fatalf("syndrome decode gave %v", c)
+	}
+}
+
+// Property: decoding any error yields a correction with the same syndrome,
+// of weight no larger than the error itself.
+func TestDecoderMinimality(t *testing.T) {
+	cs := code.Surface3()
+	l := NewLookup(cs.Hz)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		e := f2.NewVec(cs.N)
+		for q := 0; q < cs.N; q++ {
+			if rng.Intn(3) == 0 {
+				e.Set(q, true)
+			}
+		}
+		c := l.Decode(e)
+		if !cs.Hz.MulVec(c).Equal(cs.Hz.MulVec(e)) {
+			t.Fatalf("correction syndrome mismatch for %v", e)
+		}
+		if c.Weight() > e.Weight() {
+			t.Fatalf("decoder returned weight %d for error of weight %d", c.Weight(), e.Weight())
+		}
+	}
+}

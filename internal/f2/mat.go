@@ -1,0 +1,245 @@
+package f2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mat is a matrix over GF(2), stored as a slice of row vectors of equal
+// length. The zero value is an empty matrix with zero columns.
+type Mat struct {
+	cols int
+	rows []Vec
+}
+
+// NewMat returns an empty matrix with the given number of columns.
+func NewMat(cols int) *Mat {
+	if cols < 0 {
+		panic("f2: negative column count")
+	}
+	return &Mat{cols: cols}
+}
+
+// MatFromStrings builds a matrix from rows given as bit strings.
+func MatFromStrings(rows ...string) (*Mat, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("f2: MatFromStrings needs at least one row")
+	}
+	first, err := FromString(rows[0])
+	if err != nil {
+		return nil, err
+	}
+	m := NewMat(first.Len())
+	m.AppendRow(first)
+	for _, s := range rows[1:] {
+		v, err := FromString(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AppendRow(v); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// MustMatFromStrings is MatFromStrings but panics on error, for code tables.
+func MustMatFromStrings(rows ...string) *Mat {
+	m, err := MatFromStrings(rows...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cols returns the number of columns.
+func (m *Mat) Cols() int { return m.cols }
+
+// Rows returns the number of rows.
+func (m *Mat) Rows() int { return len(m.rows) }
+
+// Row returns the i-th row. The returned vector shares storage with the
+// matrix; clone it before mutating.
+func (m *Mat) Row(i int) Vec { return m.rows[i] }
+
+// RowSlice returns the underlying row slice (shared storage).
+func (m *Mat) RowSlice() []Vec { return m.rows }
+
+// AppendRow appends a row, which must have exactly Cols coordinates.
+func (m *Mat) AppendRow(v Vec) error {
+	if v.Len() != m.cols {
+		return fmt.Errorf("f2: row length %d != %d columns", v.Len(), m.cols)
+	}
+	m.rows = append(m.rows, v)
+	return nil
+}
+
+// MustAppendRow appends a row and panics on length mismatch.
+func (m *Mat) MustAppendRow(v Vec) {
+	if err := m.AppendRow(v); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.cols)
+	for _, r := range m.rows {
+		c.rows = append(c.rows, r.Clone())
+	}
+	return c
+}
+
+// MulVec returns the matrix-vector product m·v, a vector with one coordinate
+// per row (the syndrome map for parity-check matrices).
+func (m *Mat) MulVec(v Vec) Vec {
+	out := NewVec(len(m.rows))
+	for i, r := range m.rows {
+		if r.Dot(v) == 1 {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// Transpose returns the transposed matrix.
+func (m *Mat) Transpose() *Mat {
+	t := NewMat(len(m.rows))
+	for j := 0; j < m.cols; j++ {
+		row := NewVec(len(m.rows))
+		for i, r := range m.rows {
+			if r.Get(j) {
+				row.Set(i, true)
+			}
+		}
+		t.rows = append(t.rows, row)
+	}
+	return t
+}
+
+// RREF converts m to reduced row echelon form in place and returns the pivot
+// column of each non-zero row, in order. Zero rows are removed.
+func (m *Mat) RREF() (pivots []int) {
+	r := 0
+	for c := 0; c < m.cols && r < len(m.rows); c++ {
+		// Find a row at or below r with a one in column c.
+		sel := -1
+		for i := r; i < len(m.rows); i++ {
+			if m.rows[i].Get(c) {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		m.rows[r], m.rows[sel] = m.rows[sel], m.rows[r]
+		for i := 0; i < len(m.rows); i++ {
+			if i != r && m.rows[i].Get(c) {
+				m.rows[i].XorInPlace(m.rows[r])
+			}
+		}
+		pivots = append(pivots, c)
+		r++
+	}
+	m.rows = m.rows[:r]
+	return pivots
+}
+
+// Rank returns the rank of the matrix without modifying it.
+func (m *Mat) Rank() int {
+	c := m.Clone()
+	c.RREF()
+	return len(c.rows)
+}
+
+// Kernel returns a basis of the right null space {x : m·x = 0}.
+func (m *Mat) Kernel() *Mat {
+	red := m.Clone()
+	pivots := red.RREF()
+	isPivot := make(map[int]bool, len(pivots))
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	ker := NewMat(m.cols)
+	for c := 0; c < m.cols; c++ {
+		if isPivot[c] {
+			continue
+		}
+		v := NewVec(m.cols)
+		v.Set(c, true)
+		for i, p := range pivots {
+			if red.rows[i].Get(c) {
+				v.Set(p, true)
+			}
+		}
+		ker.rows = append(ker.rows, v)
+	}
+	return ker
+}
+
+// Solve finds one solution x of m·x = b, or reports ok=false if none exists.
+func (m *Mat) Solve(b Vec) (x Vec, ok bool) {
+	if b.Len() != len(m.rows) {
+		panic(fmt.Sprintf("f2: rhs length %d != %d rows", b.Len(), len(m.rows)))
+	}
+	// Augment with b as an extra column and reduce.
+	aug := NewMat(m.cols + 1)
+	for i, r := range m.rows {
+		row := NewVec(m.cols + 1)
+		for _, j := range r.Support() {
+			row.Set(j, true)
+		}
+		if b.Get(i) {
+			row.Set(m.cols, true)
+		}
+		aug.rows = append(aug.rows, row)
+	}
+	pivots := aug.RREF()
+	x = NewVec(m.cols)
+	for i, p := range pivots {
+		if p == m.cols {
+			return Vec{}, false // row 0...0|1: inconsistent
+		}
+		if aug.rows[i].Get(m.cols) {
+			x.Set(p, true)
+		}
+	}
+	return x, true
+}
+
+// InSpan reports whether v lies in the row span of m.
+func (m *Mat) InSpan(v Vec) bool {
+	if v.Len() != m.cols {
+		panic(fmt.Sprintf("f2: vector length %d != %d columns", v.Len(), m.cols))
+	}
+	red := m.Clone()
+	red.RREF()
+	res := v.Clone()
+	for _, r := range red.rows {
+		p := r.FirstOne()
+		if p >= 0 && res.Get(p) {
+			res.XorInPlace(r)
+		}
+	}
+	return res.IsZero()
+}
+
+// SpanBasis returns an independent basis (RREF rows) of the row span.
+func (m *Mat) SpanBasis() *Mat {
+	red := m.Clone()
+	red.RREF()
+	return red
+}
+
+// String renders the matrix with one bit-string row per line.
+func (m *Mat) String() string {
+	var sb strings.Builder
+	for i, r := range m.rows {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(r.String())
+	}
+	return sb.String()
+}

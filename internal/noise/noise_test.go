@@ -1,0 +1,103 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOpsForSizes(t *testing.T) {
+	if got := len(OpsFor(Loc1Q)); got != 3 {
+		t.Fatalf("1q ops = %d, want 3", got)
+	}
+	if got := len(OpsFor(Loc2Q)); got != 15 {
+		t.Fatalf("2q ops = %d, want 15", got)
+	}
+	if got := len(OpsFor(LocMeas)); got != 1 {
+		t.Fatalf("meas ops = %d, want 1", got)
+	}
+	for _, f := range OpsFor(Loc2Q) {
+		if f.IsTrivial() {
+			t.Fatal("trivial fault enumerated for CNOT")
+		}
+	}
+	seen := map[Fault]bool{}
+	for _, f := range OpsFor(Loc2Q) {
+		if seen[f] {
+			t.Fatalf("duplicate fault %+v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestPlanFiresAtIndex(t *testing.T) {
+	p := NewPlan(map[int]Fault{2: {P1: PX}})
+	if !p.Next(Loc1Q).IsTrivial() || !p.Next(Loc2Q).IsTrivial() {
+		t.Fatal("plan fired early")
+	}
+	if f := p.Next(Loc1Q); f.P1 != PX {
+		t.Fatalf("plan did not fire at index 2: %+v", f)
+	}
+	if !p.Next(Loc1Q).IsTrivial() {
+		t.Fatal("plan fired late")
+	}
+}
+
+func TestCounterRecordsKinds(t *testing.T) {
+	c := &Counter{}
+	c.Next(Loc1Q)
+	c.Next(Loc2Q)
+	c.Next(LocMeas)
+	if c.N() != 3 {
+		t.Fatalf("N = %d", c.N())
+	}
+	want := []LocKind{Loc1Q, Loc2Q, LocMeas}
+	for i, k := range want {
+		if c.Kinds[i] != k {
+			t.Fatalf("kind %d = %v, want %v", i, c.Kinds[i], k)
+		}
+	}
+}
+
+func TestDepolarizingRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := &Depolarizing{P: 0.1, Rng: rng}
+	const trials = 200000
+	fired := 0
+	for i := 0; i < trials; i++ {
+		if !d.Next(Loc2Q).IsTrivial() {
+			fired++
+		}
+	}
+	rate := float64(fired) / trials
+	if rate < 0.095 || rate > 0.105 {
+		t.Fatalf("empirical fault rate %.4f, want ~0.1", rate)
+	}
+}
+
+func TestDepolarizingUniformOverOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := &Depolarizing{P: 1.0, Rng: rng}
+	counts := map[Fault]int{}
+	const trials = 150000
+	for i := 0; i < trials; i++ {
+		counts[d.Next(Loc2Q)]++
+	}
+	if len(counts) != 15 {
+		t.Fatalf("saw %d distinct faults, want 15", len(counts))
+	}
+	for f, c := range counts {
+		frac := float64(c) / trials
+		if frac < 1.0/15-0.01 || frac > 1.0/15+0.01 {
+			t.Fatalf("fault %+v frequency %.4f, want ~1/15", f, frac)
+		}
+	}
+}
+
+func TestNoneInjector(t *testing.T) {
+	n := None()
+	for i := 0; i < 10; i++ {
+		if !n.Next(Loc2Q).IsTrivial() {
+			t.Fatal("None injected a fault")
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package prep synthesizes unitary (generally non-fault-tolerant) circuits
+// preparing the logical zero state |0...0>_L of a CSS code, playing the role
+// of the external state-preparation synthesis of Peham et al. (Ref. [22] of
+// the paper). Two methods are provided, mirroring the paper's "Heu" and
+// "Opt" variants:
+//
+//   - Heuristic: greedy Gaussian elimination on the X-generator matrix,
+//     choosing pivots that minimize the remaining matrix weight. Fast and
+//     applicable to all codes.
+//   - Optimal: exact minimum-CNOT-count synthesis by bidirectional
+//     breadth-first search over the reachable X-stabilizer subspaces, with
+//     a configurable state budget. Feasible for the smaller codes, exactly
+//     where the paper reports "Opt" results.
+//
+// A CSS |0>_L state is fully determined by its X-stabilizer span: the
+// preparation circuits have the form "|+> on a pivots, |0> elsewhere,
+// followed by CNOTs", and a CNOT(c,t) acts on the X span by the column
+// operation col_t += col_c.
+package prep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/code"
+	"repro/internal/f2"
+	"repro/internal/pauli"
+	"repro/internal/tableau"
+)
+
+// Heuristic synthesizes a preparation circuit for |0>_L of c using greedy
+// Gaussian elimination: repeatedly pick the (row, pivot column) pair whose
+// clearing column operations leave the smallest total matrix weight.
+func Heuristic(c *code.CSS) *circuit.Circuit {
+	m := c.Hx.Clone()
+	n := c.N
+	rx := m.Rows()
+
+	type colop struct{ p, q int }
+	var ops []colop
+	processed := make([]bool, rx)
+	usedPivot := make([]bool, n)
+
+	// weightAfter simulates clearing row i with pivot p and returns the
+	// total weight of the resulting matrix.
+	weightAfter := func(i, p int) int {
+		total := 0
+		for r := 0; r < rx; r++ {
+			row := m.Row(r)
+			if r == i {
+				total++ // row i becomes the unit vector e_p
+				continue
+			}
+			w := row.Weight()
+			if row.Get(p) {
+				// Every q in supp(row_i)\{p} toggles row_r[q].
+				for _, q := range m.Row(i).Support() {
+					if q == p {
+						continue
+					}
+					if row.Get(q) {
+						w--
+					} else {
+						w++
+					}
+				}
+			}
+			total += w
+		}
+		return total
+	}
+
+	for step := 0; step < rx; step++ {
+		bestI, bestP, bestW := -1, -1, int(^uint(0)>>1)
+		for i := 0; i < rx; i++ {
+			if processed[i] {
+				continue
+			}
+			for _, p := range m.Row(i).Support() {
+				if usedPivot[p] {
+					continue
+				}
+				if w := weightAfter(i, p); w < bestW {
+					bestI, bestP, bestW = i, p, w
+				}
+			}
+		}
+		if bestI < 0 {
+			panic("prep: no pivot available (Hx not full rank?)")
+		}
+		// Apply the clearing column operations col_q += col_p.
+		for _, q := range m.Row(bestI).Support() {
+			if q == bestP {
+				continue
+			}
+			ops = append(ops, colop{bestP, q})
+			for r := 0; r < rx; r++ {
+				if m.Row(r).Get(bestP) {
+					m.Row(r).Flip(q)
+				}
+			}
+		}
+		processed[bestI] = true
+		usedPivot[bestP] = true
+	}
+
+	// Assemble: |+> on pivots, |0> elsewhere, then the reduction ops
+	// reversed as CNOT(p, q).
+	circ := circuit.New(n)
+	var pivots []int
+	for q := 0; q < n; q++ {
+		if usedPivot[q] {
+			pivots = append(pivots, q)
+		}
+	}
+	for q := 0; q < n; q++ {
+		if usedPivot[q] {
+			circ.AppendPrepX(q)
+		} else {
+			circ.AppendPrepZ(q)
+		}
+	}
+	for i := len(ops) - 1; i >= 0; i-- {
+		circ.AppendCNOT(ops[i].p, ops[i].q)
+	}
+	return circ
+}
+
+// Optimal synthesizes a minimum-CNOT-count preparation circuit by
+// bidirectional BFS over X-stabilizer subspaces. maxStates bounds the total
+// number of visited states per direction; on exhaustion it returns nil
+// (fall back to Heuristic). A maxStates of 0 selects a default budget.
+func Optimal(c *code.CSS, maxStates int) *circuit.Circuit {
+	if maxStates == 0 {
+		maxStates = 400_000
+	}
+	n := c.N
+	rx := c.Hx.Rows()
+	if rx == 0 {
+		return circuit.New(n)
+	}
+
+	type edge struct {
+		parent string
+		p, q   int
+		depth  int
+	}
+	targetKey := canonKey(c.Hx)
+
+	fwd := map[string]edge{} // reached from a start state
+	bwd := map[string]edge{} // reached from the target
+	fwdMat := map[string]*f2.Mat{}
+	bwdMat := map[string]*f2.Mat{}
+
+	// Seed forward with every unit-selection subspace.
+	var fwdFrontier, bwdFrontier []string
+	comb := make([]int, rx)
+	var seed func(start, idx int)
+	seed = func(start, idx int) {
+		if idx == rx {
+			m := f2.NewMat(n)
+			for _, p := range comb {
+				m.MustAppendRow(f2.FromSupport(n, p))
+			}
+			k := canonKey(m)
+			if _, ok := fwd[k]; !ok {
+				fwd[k] = edge{parent: "", p: -1, q: -1, depth: 0}
+				fwdMat[k] = m
+				fwdFrontier = append(fwdFrontier, k)
+			}
+			return
+		}
+		for p := start; p < n; p++ {
+			comb[idx] = p
+			seed(p+1, idx+1)
+		}
+	}
+	seed(0, 0)
+
+	bwd[targetKey] = edge{parent: "", p: -1, q: -1, depth: 0}
+	bwdMat[targetKey] = c.Hx.SpanBasis()
+	bwdFrontier = append(bwdFrontier, targetKey)
+
+	if _, ok := fwd[targetKey]; ok {
+		// Target needs no CNOTs at all.
+		return assemble(c, nil, fwdMat[targetKey])
+	}
+
+	// Bidirectional level-by-level BFS. After the first meet, expansion
+	// continues while a strictly shorter total is still possible, which
+	// guarantees a minimum-length path.
+	meet := ""
+	best := int(^uint(0) >> 1)
+	fwdDepth, bwdDepth := 0, 0
+	for {
+		if len(fwdFrontier) == 0 || len(bwdFrontier) == 0 {
+			break
+		}
+		if fwdDepth+bwdDepth+1 >= best {
+			break // no shorter meet can appear
+		}
+		if len(fwd) > maxStates || len(bwd) > maxStates {
+			if meet == "" {
+				return nil
+			}
+			break
+		}
+		// Expand the smaller frontier by one level.
+		expandFwd := len(fwdFrontier) <= len(bwdFrontier)
+		var frontier *[]string
+		this, thisMat := fwd, fwdMat
+		other := bwd
+		depth := fwdDepth + 1
+		if expandFwd {
+			frontier = &fwdFrontier
+			fwdDepth++
+		} else {
+			frontier = &bwdFrontier
+			this, thisMat = bwd, bwdMat
+			other = fwd
+			depth = bwdDepth + 1
+			bwdDepth++
+		}
+		var next []string
+		for _, key := range *frontier {
+			// Bail out mid-level once the budget is blown; waiting for
+			// the level barrier can cost minutes on larger codes.
+			if len(this) > maxStates {
+				if meet == "" {
+					return nil
+				}
+				break
+			}
+			m := thisMat[key]
+			for p := 0; p < n; p++ {
+				for q := 0; q < n; q++ {
+					if p == q {
+						continue
+					}
+					nm := applyColOp(m, p, q)
+					nk := canonKey(nm)
+					if _, seen := this[nk]; seen {
+						continue
+					}
+					this[nk] = edge{parent: key, p: p, q: q, depth: depth}
+					thisMat[nk] = nm
+					next = append(next, nk)
+					if o, hit := other[nk]; hit {
+						if total := depth + o.depth; total < best {
+							best = total
+							meet = nk
+						}
+					}
+				}
+			}
+		}
+		*frontier = next
+	}
+	if meet == "" {
+		return nil
+	}
+
+	// Reconstruct: forward path ops (application order) then backward path
+	// ops from meet to target (in discovered order reversed = application
+	// order after the meet point, since column ops are involutions).
+	type colop struct{ p, q int }
+	var fops []colop
+	for k := meet; ; {
+		e := fwd[k]
+		if e.p < 0 {
+			break
+		}
+		fops = append(fops, colop{e.p, e.q})
+		k = e.parent
+	}
+	// fops currently lists last-applied first; reverse to application order.
+	for i, j := 0, len(fops)-1; i < j; i, j = i+1, j-1 {
+		fops[i], fops[j] = fops[j], fops[i]
+	}
+	var bops []colop
+	for k := meet; ; {
+		e := bwd[k]
+		if e.p < 0 {
+			break
+		}
+		bops = append(bops, colop{e.p, e.q})
+		k = e.parent
+	}
+	ops := append(fops, bops...)
+
+	// Find the start state to know the |+> pivots: undo all ops from the
+	// target backwards... simpler: walk the forward chain to its root.
+	rootKey := meet
+	for {
+		e := fwd[rootKey]
+		if e.p < 0 {
+			break
+		}
+		rootKey = e.parent
+	}
+	start := fwdMat[rootKey]
+
+	circ := assemble(c, nil, start)
+	for _, o := range ops {
+		circ.AppendCNOT(o.p, o.q)
+	}
+	return circ
+}
+
+// assemble creates the preparation prefix: |+> on the support of the unit
+// rows of start, |0> elsewhere. Extra ops are appended by the caller.
+func assemble(c *code.CSS, _ interface{}, start *f2.Mat) *circuit.Circuit {
+	n := c.N
+	isPivot := make([]bool, n)
+	for i := 0; i < start.Rows(); i++ {
+		sup := start.Row(i).Support()
+		if len(sup) != 1 {
+			panic("prep: start state is not a unit-selection subspace")
+		}
+		isPivot[sup[0]] = true
+	}
+	circ := circuit.New(n)
+	for q := 0; q < n; q++ {
+		if isPivot[q] {
+			circ.AppendPrepX(q)
+		} else {
+			circ.AppendPrepZ(q)
+		}
+	}
+	return circ
+}
+
+// applyColOp returns a copy of m with column q replaced by col_q + col_p
+// (the action of CNOT(p,q) on X-stabilizer spans).
+func applyColOp(m *f2.Mat, p, q int) *f2.Mat {
+	nm := m.Clone()
+	for r := 0; r < nm.Rows(); r++ {
+		if nm.Row(r).Get(p) {
+			nm.Row(r).Flip(q)
+		}
+	}
+	return nm
+}
+
+// canonKey returns a canonical identifier of the row span of m.
+func canonKey(m *f2.Mat) string {
+	red := m.SpanBasis()
+	keys := make([]string, red.Rows())
+	for i := 0; i < red.Rows(); i++ {
+		keys[i] = red.Row(i).String()
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k
+	}
+	return out
+}
+
+// Verify checks on the exact stabilizer simulator that circ prepares
+// |0...0>_L of c: every X and Z stabilizer generator and every logical Z
+// must have expectation +1 on the output state.
+func Verify(c *code.CSS, circ *circuit.Circuit) error {
+	if circ.N != c.N {
+		return fmt.Errorf("prep: circuit has %d qubits, code has %d", circ.N, c.N)
+	}
+	t := tableau.New(c.N)
+	circ.Run(t, nil)
+	for i := 0; i < c.Hx.Rows(); i++ {
+		op := pauli.Pauli{X: c.Hx.Row(i).Clone(), Z: f2.NewVec(c.N)}
+		if e := t.Expectation(op); e != 1 {
+			return fmt.Errorf("prep: X stabilizer %d has expectation %d", i, e)
+		}
+	}
+	for i := 0; i < c.Hz.Rows(); i++ {
+		op := pauli.Pauli{X: f2.NewVec(c.N), Z: c.Hz.Row(i).Clone()}
+		if e := t.Expectation(op); e != 1 {
+			return fmt.Errorf("prep: Z stabilizer %d has expectation %d", i, e)
+		}
+	}
+	for i := 0; i < c.Lz.Rows(); i++ {
+		op := pauli.Pauli{X: f2.NewVec(c.N), Z: c.Lz.Row(i).Clone()}
+		if e := t.Expectation(op); e != 1 {
+			return fmt.Errorf("prep: logical Z %d has expectation %d", i, e)
+		}
+	}
+	return nil
+}

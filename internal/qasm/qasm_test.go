@@ -1,0 +1,91 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/code"
+	"repro/internal/core"
+)
+
+func TestExportBasicGates(t *testing.T) {
+	c := circuit.New(3)
+	c.AppendPrepZ(0)
+	c.AppendPrepX(1)
+	c.AppendH(2)
+	c.AppendCNOT(0, 1)
+	c.AppendMeasZ(1)
+	c.AppendMeasX(2)
+
+	var sb strings.Builder
+	if err := Export(&sb, c, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		"qreg q[3];",
+		"creg c[2];",
+		"reset q[0];",
+		"reset q[1];\nh q[1];",
+		"h q[2];",
+		"cx q[0],q[1];",
+		"measure q[1] -> c[0];",
+		"h q[2];\nmeasure q[2] -> c[1];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportNoCregWithoutMeasurements(t *testing.T) {
+	c := circuit.New(1)
+	c.AppendH(0)
+	var sb strings.Builder
+	if err := Export(&sb, c, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "creg") {
+		t.Fatal("creg emitted for measurement-free circuit")
+	}
+}
+
+func TestExportProtocolFlatCircuit(t *testing.T) {
+	p, err := core.Build(code.Steane(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := p.FlatCircuit()
+	var sb strings.Builder
+	if err := Export(&sb, flat, "steane"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 7 data + 1 verification ancilla.
+	if !strings.Contains(out, "qreg q[8];") {
+		t.Fatalf("expected 8 wires:\n%s", out[:200])
+	}
+	if !strings.Contains(out, "creg c[1];") {
+		t.Fatal("expected 1 classical bit")
+	}
+	// Gate counts: 12 CNOTs total (9 prep + 3 verification).
+	if got := strings.Count(out, "cx "); got != p.Prep.CNOTCount()+3 {
+		t.Fatalf("cx count = %d", got)
+	}
+}
+
+func TestExportLineCount(t *testing.T) {
+	c := circuit.New(2)
+	c.AppendCNOT(0, 1)
+	var sb strings.Builder
+	if err := Export(&sb, c, "t"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// comment, OPENQASM, include, qreg, cx
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), sb.String())
+	}
+}

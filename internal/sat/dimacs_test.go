@@ -1,0 +1,115 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Fatalf("vars = %d", s.NumVars())
+	}
+	ok, err := s.Solve()
+	if err != nil || !ok {
+		t.Fatalf("solve: %v %v", ok, err)
+	}
+	// Check model satisfies both clauses.
+	v := func(i int) bool { return s.Value(i) }
+	if !(v(0) || !v(1)) || !(v(1) || v(2)) {
+		t.Fatal("model does not satisfy formula")
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	src := "p cnf 1 2\n1 0\n-1 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Solve(); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, src := range []string{
+		"1 2 0\n",             // missing problem line
+		"p cnf x 2\n1 0\n",    // bad var count
+		"p dnf 2 1\n1 0\n",    // wrong format tag
+		"p cnf 2 1\n1 2\n",    // missing terminator
+		"p cnf 2 1\n1 zz 0\n", // bad literal
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Fatalf("accepted malformed input %q", src)
+		}
+	}
+}
+
+func TestParseDIMACSGrowsVariables(t *testing.T) {
+	// Clauses referencing variables beyond the declared count grow the
+	// solver rather than failing.
+	src := "p cnf 1 1\n3 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Fatalf("vars = %d, want 3", s.NumVars())
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	s := NewSolver()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	s.AddClause(MkLit(b, false), MkLit(c, false))
+	s.AddClause(MkLit(a, true)) // unit: becomes a level-0 fact
+
+	var sb strings.Builder
+	if err := s.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, sb.String())
+	}
+	ok1, _ := s.Solve()
+	ok2, _ := s2.Solve()
+	if ok1 != ok2 {
+		t.Fatalf("satisfiability changed across round trip: %v vs %v", ok1, ok2)
+	}
+	if !ok2 {
+		t.Fatal("formula should be SAT")
+	}
+	// ~a forces ~... a=false, so clause 1 needs ~b -> b=false; clause 2
+	// then needs c.
+	if s2.Value(0) || s2.Value(1) || !s2.Value(2) {
+		t.Fatal("round-tripped model wrong")
+	}
+}
+
+func TestWriteDIMACSUnsatFormula(t *testing.T) {
+	s := NewSolver()
+	s.NewVar()
+	s.AddClause() // empty clause
+	var sb strings.Builder
+	if err := s.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s2.Solve(); ok {
+		t.Fatal("unsat formula round-tripped to SAT")
+	}
+}

@@ -1,0 +1,646 @@
+// Package sat implements a CDCL (conflict-driven clause learning) Boolean
+// satisfiability solver in the MiniSat tradition: two-literal watches, first
+// unique implication point conflict analysis with clause minimization, VSIDS
+// branching with phase saving, Luby restarts and activity-based deletion of
+// learned clauses.
+//
+// The solver is the decision oracle behind the synthesis procedures in this
+// repository (verification- and correction-circuit synthesis); the instances
+// it must handle are small (thousands of variables), so the implementation
+// favours clarity over last-percent throughput while still being a complete,
+// industrial-style CDCL engine.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index v (0-based) encoded as 2v for the positive
+// and 2v+1 for the negated literal.
+type Lit int32
+
+// MkLit returns the literal for variable v, negated if neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the variable index of the literal.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// String renders the literal as "v3" or "~v3".
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("~v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+// lbool is a three-valued assignment.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// clause is a disjunction of literals. lits[0] and lits[1] are the watched
+// literals. learnt clauses carry an activity for deletion heuristics.
+type clause struct {
+	lits     []Lit
+	activity float64
+	learnt   bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create solvers
+// with NewSolver.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+	watches [][]*clause
+
+	assigns  []lbool // current assignment per variable
+	phase    []bool  // saved phase per variable
+	level    []int   // decision level per assigned variable
+	reason   []*clause
+	trail    []Lit
+	trailLim []int // trail index at each decision level
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     varHeap
+	seen     []bool
+
+	model []bool // last satisfying assignment
+
+	unsat     bool // formula proven unsatisfiable at level 0
+	conflicts int64
+	decisions int64
+	propags   int64
+
+	maxConflicts int64 // 0 means no budget
+	maxLearnts   int   // learned-clause budget before reduceDB; grows geometrically
+}
+
+// NewSolver returns an empty solver with no variables.
+func NewSolver() *Solver {
+	s := &Solver{varInc: 1}
+	s.heap.activity = &s.activity
+	return s
+}
+
+// SetBudget limits the total number of conflicts across subsequent Solve
+// calls; 0 removes the limit. When exhausted, Solve returns ErrBudget.
+func (s *Solver) SetBudget(conflicts int64) { s.maxConflicts = conflicts }
+
+// ErrBudget is returned by Solve when the conflict budget is exhausted
+// before a definite answer was reached.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// NumVars returns the number of variables known to the solver.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses currently stored.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Stats returns cumulative decision, propagation and conflict counts.
+func (s *Solver) Stats() (decisions, propagations, conflicts int64) {
+	return s.decisions, s.propags, s.conflicts
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.phase = append(s.phase, false)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v)
+	return v
+}
+
+// value returns the current assignment of a literal.
+func (s *Solver) value(l Lit) lbool {
+	a := s.assigns[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+// AddClause adds a clause over existing variables. Duplicate literals are
+// merged and tautologies dropped. Adding the empty clause (or a unit clause
+// contradicting level-0 facts) makes the formula unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	if s.unsat {
+		return
+	}
+	s.cancelUntil(0)
+	// Sort/simplify: detect tautology and duplicates.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if l.Var() >= len(s.assigns) || l < 0 {
+			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		switch s.value(l) {
+		case lTrue:
+			return // clause already satisfied at level 0
+		case lFalse:
+			continue // literal permanently false; drop it
+		}
+		dup := false
+		for _, m := range out {
+			if m == l {
+				dup = true
+				break
+			}
+			if m == l.Neg() {
+				return // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+		}
+	default:
+		c := &clause{lits: out}
+		s.clauses = append(s.clauses, c)
+		s.attach(c)
+	}
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], c)
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+}
+
+// uncheckedEnqueue records l as true with the given reason clause.
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.Sign())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.heap.insert(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil if the queue drained without conflict.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; look at clauses watching ~p
+		s.qhead++
+		s.propags++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if confl != nil {
+				kept = append(kept, c)
+				continue
+			}
+			// Normalize: make lits[1] the false literal (~p ... p.Neg()).
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the other watch is true, the clause is satisfied.
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // watch moved; drop from this list
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				confl = c
+				s.qhead = len(s.trail) // flush queue
+			} else {
+				s.uncheckedEnqueue(c.lits[0], c)
+			}
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze computes a 1UIP learned clause from the conflict and the level to
+// backtrack to. The learned clause's first literal is the asserting literal.
+func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int) {
+	learnt = append(learnt, 0) // placeholder for asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		// Trace reason for p (the whole conflict clause on first pass).
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		if confl.learnt {
+			s.bumpClause(confl)
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to look at from the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Clause minimization: drop literals implied by the rest of the clause.
+	orig := append([]Lit(nil), learnt...)
+	minimized := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q, learnt) {
+			minimized = append(minimized, q)
+		}
+	}
+	learnt = minimized
+
+	// Clear seen flags for every traced literal, including dropped ones.
+	for _, q := range orig {
+		s.seen[q.Var()] = false
+	}
+
+	// Backtrack level: the second-highest level in the clause.
+	btLevel = 0
+	if len(learnt) > 1 {
+		maxIdx := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxIdx].Var()] {
+				maxIdx = i
+			}
+		}
+		learnt[1], learnt[maxIdx] = learnt[maxIdx], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal q of the learned clause is implied by
+// the remaining literals (simple, non-recursive self-subsumption check).
+func (s *Solver) redundant(q Lit, learnt []Lit) bool {
+	r := s.reason[q.Var()]
+	if r == nil {
+		return false
+	}
+	for _, l := range r.lits {
+		if l == q.Neg() {
+			continue
+		}
+		if s.level[l.Var()] == 0 || s.seen[l.Var()] {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity++
+}
+
+const varDecay = 1 / 0.95
+
+// Solve decides satisfiability of the accumulated clauses. On a SAT answer
+// the model is retained and can be read with Value. Solve may be called
+// again after adding further clauses (e.g. blocking clauses).
+func (s *Solver) Solve() (bool, error) {
+	if s.unsat {
+		return false, nil
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.unsat = true
+		return false, nil
+	}
+
+	restartBase := int64(100)
+	for restart := 0; ; restart++ {
+		budget := restartBase * int64(luby(restart))
+		res, done := s.search(budget)
+		if done {
+			return res, nil
+		}
+		if s.maxConflicts > 0 && s.conflicts >= s.maxConflicts {
+			return false, ErrBudget
+		}
+	}
+}
+
+// search runs CDCL for at most maxConfl conflicts. done=false requests a
+// restart.
+func (s *Solver) search(maxConfl int64) (sat bool, done bool) {
+	confl := int64(0)
+	for {
+		c := s.propagate()
+		if c != nil {
+			s.conflicts++
+			confl++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return false, true
+			}
+			learnt, btLevel := s.analyze(c)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				lc := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, lc)
+				s.attach(lc)
+				s.uncheckedEnqueue(learnt[0], lc)
+			}
+			s.varInc *= varDecay
+			continue
+		}
+		if confl >= maxConfl || (s.maxConflicts > 0 && s.conflicts >= s.maxConflicts) {
+			s.cancelUntil(0)
+			return false, false
+		}
+		if s.maxLearnts == 0 {
+			s.maxLearnts = 4000 + len(s.clauses)
+		}
+		if len(s.learnts) > s.maxLearnts {
+			s.reduceDB()
+			s.maxLearnts += s.maxLearnts/10 + 100
+		}
+		// Pick a branching variable.
+		v := s.pickBranchVar()
+		if v < 0 {
+			// All variables assigned: a model.
+			s.extractModel()
+			return true, true
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(MkLit(v, !s.phase[v]), nil)
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+func (s *Solver) extractModel() {
+	if cap(s.model) < len(s.assigns) {
+		s.model = make([]bool, len(s.assigns))
+	}
+	s.model = s.model[:len(s.assigns)]
+	for v, a := range s.assigns {
+		s.model[v] = a == lTrue
+	}
+}
+
+// Value returns the value of variable v in the last model found by Solve.
+func (s *Solver) Value(v int) bool {
+	if v < 0 || v >= len(s.model) {
+		return false
+	}
+	return s.model[v]
+}
+
+// reduceDB removes the less active half of the learned clauses, keeping
+// binary clauses and clauses that are reasons for current assignments.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	locked := make(map[*clause]bool)
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nil && r.learnt {
+			locked[r] = true
+		}
+	}
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity < s.learnts[j].activity
+	})
+	removeTarget := len(s.learnts) / 2
+	kept := s.learnts[:0]
+	removed := 0
+	for _, c := range s.learnts {
+		if removed < removeTarget && !locked[c] && len(c.lits) > 2 {
+			s.detach(c)
+			removed++
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, w := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+		ws := s.watches[w]
+		for i, cc := range ws {
+			if cc == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby returns the i-th element of the Luby restart sequence
+// (1,1,2,1,1,2,4,...).
+func luby(i int) int {
+	// Find the subsequence that contains index i.
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	return 1 << seq
+}
+
+// varHeap is a max-heap of variables ordered by activity.
+type varHeap struct {
+	data     []int
+	pos      []int // variable -> heap index, -1 if absent
+	activity *[]float64
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return (*h.activity)[h.data[a]] > (*h.activity)[h.data[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.data[a], h.data[b] = h.data[b], h.data[a]
+	h.pos[h.data[a]] = a
+	h.pos[h.data[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.data) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.data) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) insert(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.pos[v] = len(h.data) - 1
+	h.up(len(h.data) - 1)
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.pos) && h.pos[v] >= 0 {
+		h.up(h.pos[v])
+	}
+}
+
+func (h *varHeap) empty() bool { return len(h.data) == 0 }
+
+func (h *varHeap) pop() int {
+	v := h.data[0]
+	h.swap(0, len(h.data)-1)
+	h.data = h.data[:len(h.data)-1]
+	h.pos[v] = -1
+	if len(h.data) > 0 {
+		h.down(0)
+	}
+	return v
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/code"
+	"repro/internal/core"
+	"repro/internal/noise"
+	"repro/internal/pauli"
+)
+
+// TestExecutorMatchesSymbolicPropagation cross-validates the two
+// independent fault engines of the repository: the symbolic Pauli
+// propagation over the flattened circuit (internal/circuit, used by the
+// synthesizer to build signature classes) and the dynamic Pauli-frame
+// executor (this package, used for simulation). For every single fault at
+// every location, both must predict the same verification signature.
+func TestExecutorMatchesSymbolicPropagation(t *testing.T) {
+	for _, cs := range []*code.CSS{code.Steane(), code.Surface3(), code.Carbon()} {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			p, err := core.Build(cs, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lay := p.Flatten()
+			// Location l of the executor corresponds to gate l of the
+			// flattened circuit: both enumerate prep gates then each
+			// measurement's operations in the same order.
+			if got, want := Locations(p), len(lay.Circ.Gates); got != want {
+				t.Fatalf("location count %d != flattened gate count %d", got, want)
+			}
+			for g, gate := range lay.Circ.Gates {
+				for _, op := range opsForGate(gate) {
+					expected := expectedSignatures(lay, g, gate, op)
+					out := Run(p, noise.NewPlan(map[int]noise.Fault{g: op}))
+					for li := range out.Sigs {
+						if out.Sigs[li] != expected[li] {
+							t.Fatalf("gate %d (%v) fault %+v: layer %d signature %v, symbolic predicts %v",
+								g, gate, op, li+1, out.Sigs[li], expected[li])
+						}
+					}
+					// Layers the executor skipped must be due to an early
+					// termination after a flag event.
+					if len(out.Sigs) < len(lay.MeasBits) && !out.TerminatedEarly {
+						t.Fatalf("gate %d fault %+v: layers missing without early termination", g, op)
+					}
+				}
+			}
+		})
+	}
+}
+
+// opsForGate enumerates the injectable faults of one gate, matching the
+// executor's location kinds.
+func opsForGate(g circuit.Gate) []noise.Fault {
+	switch g.Kind {
+	case circuit.CNOT:
+		return noise.OpsFor(noise.Loc2Q)
+	case circuit.MeasZ, circuit.MeasX:
+		return noise.OpsFor(noise.LocMeas)
+	default:
+		return noise.OpsFor(noise.Loc1Q)
+	}
+}
+
+// expectedSignatures computes, via symbolic propagation, the per-layer
+// signatures produced by injecting fault op after gate g.
+func expectedSignatures(lay core.FlatLayout, g int, gate circuit.Gate, op noise.Fault) []core.Signature {
+	c := lay.Circ
+	var eff circuit.Effect
+	if op.Flip {
+		// A measurement flip affects only that classical bit.
+		eff = circuit.Effect{Err: pauli.New(c.N)}
+		flips := make([]bool, c.NumBits)
+		flips[gate.Bit] = true
+		return signaturesFromFlips(lay, flips)
+	}
+	p := pauli.New(c.N)
+	applyCode(&p, gate.Q, op.P1)
+	if gate.Kind == circuit.CNOT {
+		applyCode(&p, gate.Q2, op.P2)
+	}
+	eff = c.PropagateEffect(g, p)
+	flips := make([]bool, c.NumBits)
+	for _, b := range eff.Flips.Support() {
+		flips[b] = true
+	}
+	return signaturesFromFlips(lay, flips)
+}
+
+func signaturesFromFlips(lay core.FlatLayout, flips []bool) []core.Signature {
+	var out []core.Signature
+	for li := range lay.MeasBits {
+		b := make([]byte, len(lay.MeasBits[li]))
+		f := make([]byte, len(lay.MeasBits[li]))
+		for mi, bit := range lay.MeasBits[li] {
+			b[mi] = '0'
+			if flips[bit] {
+				b[mi] = '1'
+			}
+			f[mi] = '0'
+			if fb := lay.FlagBits[li][mi]; fb >= 0 && flips[fb] {
+				f[mi] = '1'
+			}
+		}
+		out = append(out, core.Signature{B: string(b), F: string(f)})
+	}
+	return out
+}
+
+func applyCode(p *pauli.Pauli, q int, c byte) {
+	if c&1 != 0 {
+		p.X.Flip(q)
+	}
+	if c&2 != 0 {
+		p.Z.Flip(q)
+	}
+}

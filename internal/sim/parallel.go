@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/noise"
+)
+
+// DirectMCParallel is DirectMC fanned out over all CPUs: shots are split
+// across workers, each with an independent RNG stream derived from seed.
+// The protocol object is shared read-only; every worker owns its frame
+// executor state, so the sampling is race-free and the result depends only
+// on (seed, workers, shots).
+func (est *Estimator) DirectMCParallel(p float64, shots int, seed int64) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shots {
+		workers = 1
+	}
+	per := shots / workers
+	extra := shots % workers
+
+	var wg sync.WaitGroup
+	fails := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*0x9E3779B9))
+			inj := &noise.Depolarizing{P: p, Rng: rng}
+			count := 0
+			for i := 0; i < n; i++ {
+				if est.Judge(Run(est.P, inj)) {
+					count++
+				}
+			}
+			fails[w] = count
+		}(w, n)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range fails {
+		total += f
+	}
+	return float64(total) / float64(shots)
+}

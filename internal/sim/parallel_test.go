@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/code"
+)
+
+func TestDirectMCParallelAgreesWithSerial(t *testing.T) {
+	p := buildProto(t, code.Steane())
+	est := NewEstimator(p)
+	const pp, shots = 0.03, 40000
+	par := est.DirectMCParallel(pp, shots, 5)
+	ser := est.DirectMC(pp, shots, rand.New(rand.NewSource(6)))
+	if par == 0 || ser == 0 {
+		t.Fatalf("no failures sampled: par=%g ser=%g", par, ser)
+	}
+	ratio := par / ser
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("parallel %.4g vs serial %.4g disagree (ratio %.2f)", par, ser, ratio)
+	}
+}
+
+func TestDirectMCParallelDeterministicForSeed(t *testing.T) {
+	p := buildProto(t, code.Steane())
+	est := NewEstimator(p)
+	a := est.DirectMCParallel(0.05, 5000, 42)
+	b := est.DirectMCParallel(0.05, 5000, 42)
+	if a != b {
+		t.Fatalf("same seed gave %g and %g", a, b)
+	}
+}
+
+func TestDirectMCParallelSmallShotCount(t *testing.T) {
+	p := buildProto(t, code.Steane())
+	est := NewEstimator(p)
+	// Fewer shots than CPUs must still work.
+	_ = est.DirectMCParallel(0.1, 3, 1)
+}

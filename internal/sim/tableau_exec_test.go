@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/code"
+	"repro/internal/noise"
+)
+
+// TestTableauExecutorMatchesFrame cross-validates the exact stabilizer
+// executor against the Pauli-frame executor: for every single fault both
+// must observe the same signatures, take the same branches and leave
+// equivalent residual frames (equal modulo the state stabilizer group).
+func TestTableauExecutorMatchesFrame(t *testing.T) {
+	for _, cs := range []*code.CSS{code.Steane(), code.Shor(), code.CSS11()} {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			p := buildProto(t, cs)
+			counter := &noise.Counter{}
+			Run(p, counter)
+			for loc, kind := range counter.Kinds {
+				for _, op := range noise.OpsFor(kind) {
+					plan := map[int]noise.Fault{loc: op}
+					frame := Run(p, noise.NewPlan(plan))
+					exact := RunTableau(p, noise.NewPlan(plan))
+					if len(frame.Sigs) != len(exact.Sigs) {
+						t.Fatalf("loc %d op %+v: layer counts differ (%d vs %d)",
+							loc, op, len(frame.Sigs), len(exact.Sigs))
+					}
+					for li := range frame.Sigs {
+						if frame.Sigs[li] != exact.Sigs[li] {
+							t.Fatalf("loc %d op %+v layer %d: frame sig %v, tableau sig %v",
+								loc, op, li+1, frame.Sigs[li], exact.Sigs[li])
+						}
+					}
+					if frame.TerminatedEarly != exact.TerminatedEarly || frame.UnknownClass != exact.UnknownClass {
+						t.Fatalf("loc %d op %+v: branch flags differ", loc, op)
+					}
+					// Residuals agree modulo the state stabilizer group.
+					if !cs.CosetRep(code.ErrX, frame.Ex).Equal(cs.CosetRep(code.ErrX, exact.Ex)) {
+						t.Fatalf("loc %d op %+v: X residuals inequivalent: %v vs %v",
+							loc, op, frame.Ex, exact.Ex)
+					}
+					if !cs.CosetRep(code.ErrZ, frame.Ez).Equal(cs.CosetRep(code.ErrZ, exact.Ez)) {
+						t.Fatalf("loc %d op %+v: Z residuals inequivalent: %v vs %v",
+							loc, op, frame.Ez, exact.Ez)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTableauExecutorRandomPlans extends the cross-validation to random
+// two- and three-fault plans, where branching differences would show up.
+func TestTableauExecutorRandomPlans(t *testing.T) {
+	cs := code.Steane()
+	p := buildProto(t, cs)
+	counter := &noise.Counter{}
+	Run(p, counter)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		plan := map[int]noise.Fault{}
+		for len(plan) < 2+rng.Intn(2) {
+			loc := rng.Intn(counter.N())
+			ops := noise.OpsFor(counter.Kinds[loc])
+			plan[loc] = ops[rng.Intn(len(ops))]
+		}
+		frame := Run(p, noise.NewPlan(clonePlan(plan)))
+		exact := RunTableau(p, noise.NewPlan(clonePlan(plan)))
+		if len(frame.Sigs) != len(exact.Sigs) {
+			t.Fatalf("trial %d: layer counts differ", trial)
+		}
+		for li := range frame.Sigs {
+			if frame.Sigs[li] != exact.Sigs[li] {
+				t.Fatalf("trial %d layer %d: %v vs %v", trial, li+1, frame.Sigs[li], exact.Sigs[li])
+			}
+		}
+		if !cs.CosetRep(code.ErrX, frame.Ex).Equal(cs.CosetRep(code.ErrX, exact.Ex)) ||
+			!cs.CosetRep(code.ErrZ, frame.Ez).Equal(cs.CosetRep(code.ErrZ, exact.Ez)) {
+			t.Fatalf("trial %d: residuals inequivalent", trial)
+		}
+	}
+}
+
+func clonePlan(p map[int]noise.Fault) map[int]noise.Fault {
+	out := make(map[int]noise.Fault, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+func TestTableauExecutorCleanRun(t *testing.T) {
+	p := buildProto(t, code.Carbon())
+	out := RunTableau(p, noise.None())
+	if out.Triggered || !out.Ex.IsZero() || !out.Ez.IsZero() {
+		t.Fatalf("clean tableau run: %+v", out)
+	}
+}

@@ -1,0 +1,170 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/code"
+	"repro/internal/f2"
+	"repro/internal/prep"
+)
+
+func TestDangerousErrorsSteane(t *testing.T) {
+	c := code.Steane()
+	circ := prep.Heuristic(c)
+	ex := DangerousErrors(c, circ, code.ErrX)
+	if len(ex) == 0 {
+		t.Fatal("Steane prep should have dangerous X errors (it is not FT)")
+	}
+	for _, e := range ex {
+		if w := c.ReducedWeight(code.ErrX, e); w < 2 {
+			t.Fatalf("error %v has reduced weight %d < 2", e, w)
+		}
+	}
+}
+
+func TestSynthesizeSteaneVerification(t *testing.T) {
+	c := code.Steane()
+	circ := prep.Heuristic(c)
+	ex := DangerousErrors(c, circ, code.ErrX)
+	res, err := Synthesize(c.DetectionGroup(code.ErrX), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table I: Steane verification needs 1 ancilla and 3 CNOTs.
+	if res.Ancillas() != 1 {
+		t.Fatalf("Steane verification uses %d measurements, want 1", res.Ancillas())
+	}
+	if res.CNOTs() != 3 {
+		t.Fatalf("Steane verification uses %d CNOTs, want 3", res.CNOTs())
+	}
+	// The measurement must be in the detection group span and detect all.
+	det := c.DetectionGroup(code.ErrX)
+	for _, s := range res.Stabs {
+		if !det.InSpan(s) {
+			t.Fatalf("measured stabilizer %v outside detection group", s)
+		}
+	}
+	for _, e := range ex {
+		detected := false
+		for _, s := range res.Stabs {
+			if s.Dot(e) == 1 {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			t.Fatalf("error %v undetected", e)
+		}
+	}
+}
+
+func TestSynthesizeEmptyErrors(t *testing.T) {
+	c := code.Steane()
+	res, err := Synthesize(c.DetectionGroup(code.ErrX), nil)
+	if err != nil || res.Ancillas() != 0 {
+		t.Fatalf("empty error set should need no verification, got %v, %v", res, err)
+	}
+}
+
+func TestSynthesizeDetectsAllCatalog(t *testing.T) {
+	for _, c := range []*code.CSS{code.Steane(), code.Shor(), code.Surface3(), code.CSS11()} {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			circ := prep.Heuristic(c)
+			for _, kind := range []code.ErrType{code.ErrX, code.ErrZ} {
+				errs := DangerousErrors(c, circ, kind)
+				res, err := Synthesize(c.DetectionGroup(kind), errs)
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				for _, e := range errs {
+					ok := false
+					for _, s := range res.Stabs {
+						if s.Dot(e) == 1 {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("%v error %v undetected", kind, e)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSynthesizeMinimality(t *testing.T) {
+	// A contrived instance: two errors that a single generator detects.
+	det := f2.MustMatFromStrings(
+		"1100",
+		"0011",
+	)
+	errs := []f2.Vec{
+		f2.MustFromString("1000"),
+		f2.MustFromString("0010"),
+	}
+	res, err := Synthesize(det, errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One measurement of 1100+0011=1111 (weight 4) detects both, but two
+	// weight-2 measurements cost the same total weight with 2 ancillae;
+	// minimal ancilla count 1 must win, then weight 4.
+	if res.Ancillas() != 1 {
+		t.Fatalf("ancillas = %d, want 1", res.Ancillas())
+	}
+	if res.CNOTs() != 4 {
+		t.Fatalf("weight = %d, want 4", res.CNOTs())
+	}
+}
+
+func TestSynthesizeWeightOptimality(t *testing.T) {
+	// Single error detectable by a weight-2 or weight-4 generator: the
+	// weight-2 one must be chosen.
+	det := f2.MustMatFromStrings(
+		"1111",
+		"1100",
+	)
+	errs := []f2.Vec{f2.MustFromString("1000")}
+	res, err := Synthesize(det, errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ancillas() != 1 || res.CNOTs() != 2 {
+		t.Fatalf("got %d meas, %d CNOTs; want 1, 2", res.Ancillas(), res.CNOTs())
+	}
+}
+
+func TestEnumerateOptimalDistinct(t *testing.T) {
+	c := code.Steane()
+	circ := prep.Heuristic(c)
+	ex := DangerousErrors(c, circ, code.ErrX)
+	all, err := EnumerateOptimal(c.DetectionGroup(code.ErrX), ex, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no optimal verifications enumerated")
+	}
+	opt, _ := Synthesize(c.DetectionGroup(code.ErrX), ex)
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.Ancillas() != opt.Ancillas() || r.CNOTs() != opt.CNOTs() {
+			t.Fatalf("enumerated non-optimal verification: %d meas %d CNOTs", r.Ancillas(), r.CNOTs())
+		}
+		key := stabsKey(r.Stabs)
+		if seen[key] {
+			t.Fatal("duplicate verification enumerated")
+		}
+		seen[key] = true
+	}
+}
+
+func TestUndetectableErrorFails(t *testing.T) {
+	det := f2.MustMatFromStrings("1100")
+	errs := []f2.Vec{f2.MustFromString("0011")} // orthogonal to everything
+	if _, err := Synthesize(det, errs); err == nil {
+		t.Fatal("expected failure for undetectable error")
+	}
+}
