@@ -2,7 +2,9 @@
 // parameters by randomized subspace sampling with exact distance
 // certification. It was used to produce the stand-in instances for the
 // paper's Carbon [[12,2,4]], [[11,1,3]] and [[16,2,4]] rows, whose exact
-// generator matrices are not public (see DESIGN.md "Substitutions").
+// generator matrices are not public (see DESIGN.md "Substitutions"). It is a
+// thin flag wrapper over dftsp.Search; the printed Hx/Hz rows feed directly
+// into `dftsp -hx ... -hz ...` or the server's "hx"/"hz" options.
 //
 // Usage:
 //
@@ -14,10 +16,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"repro/internal/code"
+	"repro/dftsp"
 )
 
 func main() {
@@ -30,105 +31,37 @@ func main() {
 		seed     = flag.Int64("seed", 1, "search seed")
 		tries    = flag.Int("tries", 500000, "candidate budget")
 		gaugeTss = flag.Bool("gauge-tesseract", false, "search gauge fixings of the tesseract code instead of random sampling")
-		climb    = flag.Bool("climb", false, "hill-climbing self-dual search (for hard instances like [[12,2,4]])")
+		climb    = flag.Bool("climb", false, "hill-climbing search (for hard instances like [[12,2,4]])")
 		shorten  = flag.Bool("shorten-tesseract", false, "brute-force shortenings of the tesseract code down to the target n,k,d")
 		minStab  = flag.Int("minstab", 2, "reject codes with stabilizer-span elements lighter than this")
 	)
 	flag.Parse()
 
-	var c *code.CSS
-	if *shorten {
-		c = shortenTesseract(*n, *k, *d)
-	} else if *gaugeTss {
-		c = gaugeFixTesseract(*seed, *d)
-	} else if *climb && *selfDual {
-		c = code.SearchSelfDualClimb(code.SearchOptions{
-			N: *n, K: *k, D: *d, SelfDual: true,
-			MaxTries: *tries, Seed: *seed, MinStabWeight: *minStab,
-		})
-	} else if *climb {
-		c = code.SearchCSSClimb(code.SearchOptions{
-			N: *n, K: *k, D: *d, RankX: *rx,
-			MaxTries: *tries, Seed: *seed, MinStabWeight: *minStab,
-		})
-	} else {
-		c = code.Search(code.SearchOptions{
-			N: *n, K: *k, D: *d, RankX: *rx,
-			SelfDual: *selfDual, MaxTries: *tries, Seed: *seed,
-			MinStabWeight: *minStab,
-		})
+	mode := dftsp.SearchRandom
+	switch {
+	case *shorten:
+		mode = dftsp.SearchShortenTesseract
+	case *gaugeTss:
+		mode = dftsp.SearchGaugeTesseract
+	case *climb:
+		mode = dftsp.SearchClimb
 	}
-	if c == nil {
-		fmt.Fprintln(os.Stderr, "codesearch: no code found within budget")
+
+	fc, err := dftsp.Search(dftsp.SearchOptions{
+		N: *n, K: *k, D: *d, RankX: *rx, SelfDual: *selfDual,
+		Mode: mode, MaxTries: *tries, Seed: *seed, MinStabWeight: *minStab,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codesearch:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("found %s  (dX=%d dZ=%d)\n", c.Params(), c.DistanceX(), c.DistanceZ())
+	fmt.Printf("found %s  (dX=%d dZ=%d)\n", fc.Params, fc.DX, fc.DZ)
 	fmt.Println("Hx:")
-	for i := 0; i < c.Hx.Rows(); i++ {
-		fmt.Printf("\t%q,\n", c.Hx.Row(i).String())
+	for _, row := range fc.Hx {
+		fmt.Printf("\t%q,\n", row)
 	}
 	fmt.Println("Hz:")
-	for i := 0; i < c.Hz.Rows(); i++ {
-		fmt.Printf("\t%q,\n", c.Hz.Row(i).String())
+	for _, row := range fc.Hz {
+		fmt.Printf("\t%q,\n", row)
 	}
-}
-
-// shortenTesseract brute-forces sequences of single-qubit Z/X shortenings of
-// the [[16,6,4]] tesseract code down to n qubits, keeping candidates whose
-// parameters reach [[n,k,>=d]].
-func shortenTesseract(n, k, d int) *code.CSS {
-	type state struct{ c *code.CSS }
-	frontier := []state{{code.Tesseract()}}
-	seen := map[string]bool{}
-	for len(frontier) > 0 {
-		var next []state
-		for _, st := range frontier {
-			if st.c.N == n {
-				if st.c.K == k && st.c.DistanceX() >= d && st.c.DistanceZ() >= d {
-					st.c.Name = fmt.Sprintf("[[%d,%d,%d]]", n, k, d)
-					return st.c
-				}
-				continue
-			}
-			for q := 0; q < st.c.N; q++ {
-				for _, sh := range []func(*code.CSS, int) (*code.CSS, error){code.ShortenZ, code.ShortenX} {
-					nc, err := sh(st.c, q)
-					if err != nil || nc.K < k {
-						continue
-					}
-					key := nc.Hx.SpanBasis().String() + "#" + nc.Hz.SpanBasis().String()
-					if seen[key] {
-						continue
-					}
-					seen[key] = true
-					// Prune branches whose distance already dropped.
-					if nc.DistanceX() < d || nc.DistanceZ() < d {
-						continue
-					}
-					next = append(next, state{nc})
-				}
-			}
-		}
-		frontier = next
-	}
-	return nil
-}
-
-// gaugeFixTesseract promotes random pairs of tesseract logicals to
-// stabilizers until a commuting [[16,2,>=d]] gauge fixing is found.
-func gaugeFixTesseract(seed int64, d int) *code.CSS {
-	rng := rand.New(rand.NewSource(seed))
-	base := code.Tesseract()
-	for try := 0; try < 200000; try++ {
-		xs := rng.Perm(base.K)[:4]
-		zs := rng.Perm(base.K)[:4]
-		c, err := code.GaugeFix(base, "[[16,2,4]]", xs[:2], zs[:2])
-		if err != nil || c.K != 2 {
-			continue
-		}
-		if c.DistanceX() >= d && c.DistanceZ() >= d {
-			return c
-		}
-	}
-	return nil
 }

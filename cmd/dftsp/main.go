@@ -1,7 +1,8 @@
 // Command dftsp synthesizes a deterministic fault-tolerant state preparation
 // protocol for |0>_L of a CSS code, prints its structure and Table-I-style
 // metrics, optionally certifies fault tolerance exhaustively and exports the
-// static part of the circuit as OpenQASM 2.0.
+// static part of the circuit as OpenQASM 2.0. It is a thin flag wrapper over
+// the public dftsp package.
 //
 // Usage:
 //
@@ -9,25 +10,21 @@
 //	dftsp -code Carbon -prep opt -verif global -check
 //	dftsp -code Surface -qasm surface.qasm
 //	dftsp -hx 1110000,0111000 -hz ...   # custom code from check matrices
+//	dftsp -code Steane -rate 1e-3 -shots 100000 -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
-	"repro/internal/code"
-	"repro/internal/core"
-	"repro/internal/f2"
-	"repro/internal/qasm"
-	"repro/internal/sim"
+	"repro/dftsp"
 )
 
 func main() {
 	var (
-		codeName = flag.String("code", "Steane", "catalog code name")
+		codeName = flag.String("code", "", "catalog code name (default Steane)")
 		surfaceD = flag.Int("surface", 0, "use the rotated surface code of this (odd) distance instead of -code")
 		hxFlag   = flag.String("hx", "", "custom X check matrix (comma-separated bit rows)")
 		hzFlag   = flag.String("hz", "", "custom Z check matrix (comma-separated bit rows)")
@@ -36,102 +33,71 @@ func main() {
 		check    = flag.Bool("check", false, "run the exhaustive single-fault FT certificate")
 		qasmOut  = flag.String("qasm", "", "write prep+verification as OpenQASM 2.0 to this file")
 		rate     = flag.Float64("rate", 0, "if > 0, estimate the logical error rate at this physical rate")
+		shots    = flag.Int("shots", 0, "if > 0, add a direct Monte-Carlo cross-check with this many shots")
+		workers  = flag.Int("workers", 0, "Monte-Carlo worker count (0: DFTSP_WORKERS or CPU count)")
 	)
 	flag.Parse()
 
-	var cs *code.CSS
-	var err error
-	if *surfaceD > 0 {
-		cs = code.RotatedSurface(*surfaceD)
-	} else {
-		cs, err = selectCode(*codeName, *hxFlag, *hzFlag)
+	opts := dftsp.Options{
+		Code:            *codeName,
+		SurfaceDistance: *surfaceD,
+		Prep:            *prepM,
+		Verif:           *verifM,
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dftsp:", err)
-		os.Exit(1)
+	if *hxFlag != "" {
+		opts.Hx = strings.Split(*hxFlag, ",")
 	}
-	cfg := core.Config{}
-	if strings.EqualFold(*prepM, "opt") {
-		cfg.Prep = core.PrepOptimal
-	}
-	if strings.EqualFold(*verifM, "global") {
-		cfg.Verif = core.VerifGlobal
+	if *hzFlag != "" {
+		opts.Hz = strings.Split(*hzFlag, ",")
 	}
 
-	p, err := core.Build(cs, cfg)
+	p, err := dftsp.Synthesize(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dftsp: synthesis failed:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	fmt.Println(p)
-	fmt.Println(p.ComputeMetrics().FormatRow())
-	flat := p.FlatCircuit()
-	fmt.Printf("static circuit: %d wires, %d CNOTs, depth %d\n", flat.N, flat.CNOTCount(), flat.Depth())
-
-	for li, l := range p.Layers {
-		fmt.Printf("layer %d (%v errors):\n", li+1, l.Detects)
-		for mi, m := range l.Verif {
-			flagged := ""
-			if m.Flagged {
-				flagged = " [flagged]"
-			}
-			fmt.Printf("  verify %d: %s (weight %d)%s\n", mi+1, supportString(m.Stab), m.Weight(), flagged)
-		}
-		fmt.Printf("  %d correction classes\n", len(l.Classes))
-	}
+	fmt.Println(p.Summary())
+	fmt.Println(p.MetricsRow())
+	fmt.Println(p.Describe())
 
 	if *check {
-		if err := sim.ExhaustiveFaultCheck(p); err != nil {
-			fmt.Fprintln(os.Stderr, "dftsp: FT check FAILED:", err)
-			os.Exit(1)
+		if err := p.Certify(); err != nil {
+			fail(fmt.Errorf("FT check FAILED: %w", err))
 		}
-		fmt.Printf("FT certificate: all single faults at %d locations leave residual weight <= 1\n", sim.Locations(p))
+		fmt.Printf("FT certificate: all single faults at %d locations leave residual weight <= 1\n", p.FaultLocations())
 	}
 
 	if *rate > 0 {
-		est := sim.NewEstimator(p)
-		res := est.FaultOrder(3, 20000, rand.New(rand.NewSource(42)))
+		res, err := p.Estimate(dftsp.EstimateOptions{
+			Rates:   []float64{*rate},
+			MCShots: *shots,
+			Workers: *workers,
+		})
+		if err != nil {
+			fail(err)
+		}
+		pt := res.Points[0]
 		fmt.Printf("logical error rate at p=%g: %.3g (N=%d locations, f2=%.4f)\n",
-			*rate, res.Rate(*rate), res.N, res.F[2])
+			pt.P, pt.PL, res.Locations, res.F[2])
+		if *shots > 0 {
+			fmt.Printf("Monte-Carlo cross-check at p=%g: %.3g (%d shots)\n", pt.P, pt.MC, *shots)
+		}
 	}
 
 	if *qasmOut != "" {
 		f, err := os.Create(*qasmOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dftsp:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
-		if err := qasm.Export(f, p.FlatCircuit(), cs.Name+" |0>_L deterministic FT preparation"); err != nil {
-			fmt.Fprintln(os.Stderr, "dftsp:", err)
-			os.Exit(1)
+		if err := p.WriteQASM(f); err != nil {
+			fail(err)
 		}
 		fmt.Println("wrote", *qasmOut)
 	}
 }
 
-func selectCode(name, hx, hz string) (*code.CSS, error) {
-	if hx != "" || hz != "" {
-		if hx == "" || hz == "" {
-			return nil, fmt.Errorf("custom codes need both -hx and -hz")
-		}
-		mx, err := f2.MatFromStrings(strings.Split(hx, ",")...)
-		if err != nil {
-			return nil, err
-		}
-		mz, err := f2.MatFromStrings(strings.Split(hz, ",")...)
-		if err != nil {
-			return nil, err
-		}
-		return code.New("custom", mx, mz)
-	}
-	return code.ByName(name)
-}
-
-func supportString(v f2.Vec) string {
-	parts := make([]string, 0, v.Weight())
-	for _, q := range v.Support() {
-		parts = append(parts, fmt.Sprintf("%d", q+1))
-	}
-	return "{" + strings.Join(parts, ",") + "}"
+func fail(err error) {
+	// Facade errors already carry the "dftsp:" prefix; don't double it.
+	fmt.Fprintln(os.Stderr, "dftsp:", strings.TrimPrefix(err.Error(), "dftsp: "))
+	os.Exit(1)
 }

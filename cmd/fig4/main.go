@@ -1,29 +1,26 @@
 // Command fig4 regenerates Figure 4 of the paper: logical error rate versus
 // physical error rate for the |0>_L preparation protocols of every catalog
 // code, under circuit-level depolarizing noise (E1_1), with a perfect final
-// error-correction round and destructive Z-basis readout.
+// error-correction round and destructive Z-basis readout. It is a thin flag
+// wrapper over the public dftsp package.
 //
 // Output is CSV: series,p,pL. The "Linear" series is the pL = p reference
-// line of the figure. Use -mc to add direct Monte-Carlo cross-check columns
-// at the largest rates.
+// line of the figure. Use -mcshots to add direct Monte-Carlo cross-check
+// rows at the largest rates.
 //
 // Usage:
 //
 //	fig4 > fig4.csv
-//	fig4 -codes Steane,Carbon -samples 50000 -mc
+//	fig4 -codes Steane,Carbon -samples 50000 -mcshots 20000
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
-	"math/rand"
 	"os"
 	"strings"
 
-	"repro/internal/code"
-	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/dftsp"
 )
 
 func main() {
@@ -37,20 +34,22 @@ func main() {
 	)
 	flag.Parse()
 
-	codes := code.Catalog()
+	// Direct sampling resolves nothing below this physical rate; shared by
+	// the estimation request and the CSV row filter.
+	const mcMinRate = 1e-2
+
+	names := []string{}
+	for _, c := range dftsp.Codes() {
+		names = append(names, c.Name)
+	}
 	if *codesFlag != "" {
-		codes = nil
+		names = nil
 		for _, name := range strings.Split(*codesFlag, ",") {
-			c, err := code.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			codes = append(codes, c)
+			names = append(names, strings.TrimSpace(name))
 		}
 	}
 
-	grid := logGrid(1e-4, 1e-1, *points)
+	grid := dftsp.LogGrid(1e-4, 1e-1, *points)
 	fmt.Println("series,p,pL")
 	for _, p := range grid {
 		fmt.Printf("Linear,%.6g,%.6g\n", p, p)
@@ -63,42 +62,48 @@ func main() {
 		diag  string
 		err   error
 	}
-	results := make([]chan result, len(codes))
-	for i, cs := range codes {
+	results := make([]chan result, len(names))
+	for i, name := range names {
 		results[i] = make(chan result, 1)
-		go func(i int, cs *code.CSS) {
-			rng := rand.New(rand.NewSource(*seed + int64(i)))
+		go func(i int, name string) {
 			var r result
-			proto, err := core.Build(cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
+			defer func() { results[i] <- r }()
+			proto, err := dftsp.Synthesize(dftsp.Options{Code: name})
 			if err != nil {
-				r.err = fmt.Errorf("%s: %v", cs.Name, err)
-				results[i] <- r
+				r.err = fmt.Errorf("%s: %v", name, err)
 				return
 			}
-			if err := sim.ExhaustiveFaultCheck(proto); err != nil {
-				r.err = fmt.Errorf("%s failed the FT certificate: %v", cs.Name, err)
-				results[i] <- r
+			if err := proto.Certify(); err != nil {
+				r.err = fmt.Errorf("%s failed the FT certificate: %v", name, err)
 				return
 			}
-			est := sim.NewEstimator(proto)
-			res := est.FaultOrder(*maxW, *samples, rng)
-			series := csvName(cs.Name)
-			r.diag = fmt.Sprintf("fig4: %-12s N=%3d f1=%g f2=%.4f", cs.Name, res.N, res.F[1], res.F[2])
-			for _, p := range grid {
-				r.lines = append(r.lines, fmt.Sprintf("%s,%.6g,%.6g", series, p, res.Rate(p)))
+			res, err := proto.Estimate(dftsp.EstimateOptions{
+				Rates:     grid,
+				MaxOrder:  *maxW,
+				Samples:   *samples,
+				MCShots:   *mcShots,
+				MCMinRate: mcMinRate,
+				Seed:      *seed + int64(i),
+				// Codes already run concurrently; keep each MC serial.
+				Workers: 1,
+			})
+			if err != nil {
+				r.err = fmt.Errorf("%s: %v", name, err)
+				return
 			}
-			if *mcShots > 0 {
-				for _, p := range grid {
-					if p < 1e-2 {
-						continue
-					}
-					r.lines = append(r.lines, fmt.Sprintf("%s-MC,%.6g,%.6g", series, p, est.DirectMC(p, *mcShots, rng)))
+			series := csvName(name)
+			r.diag = fmt.Sprintf("fig4: %-12s N=%3d f1=%g f2=%.4f", name, res.Locations, res.F[1], res.F[2])
+			for _, pt := range res.Points {
+				r.lines = append(r.lines, fmt.Sprintf("%s,%.6g,%.6g", series, pt.P, pt.PL))
+			}
+			for _, pt := range res.Points {
+				if *mcShots > 0 && pt.P >= mcMinRate {
+					r.lines = append(r.lines, fmt.Sprintf("%s-MC,%.6g,%.6g", series, pt.P, pt.MC))
 				}
 			}
-			results[i] <- r
-		}(i, cs)
+		}(i, name)
 	}
-	for i := range codes {
+	for i := range names {
 		r := <-results[i]
 		if r.err != nil {
 			fmt.Fprintln(os.Stderr, "fig4:", r.err)
@@ -114,13 +119,4 @@ func main() {
 // csvName makes a code name safe as an unquoted CSV field.
 func csvName(name string) string {
 	return strings.ReplaceAll(name, ",", ".")
-}
-
-func logGrid(lo, hi float64, points int) []float64 {
-	out := make([]float64, points)
-	for i := range out {
-		f := float64(i) / float64(points-1)
-		out[i] = math.Exp(math.Log(lo) + f*(math.Log(hi)-math.Log(lo)))
-	}
-	return out
 }

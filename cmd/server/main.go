@@ -1,0 +1,190 @@
+// Command server exposes the dftsp pipeline as an HTTP JSON service. It is
+// backed by dftsp.Service: SAT-synthesized protocols are cached in memory
+// keyed by their canonical options, concurrent identical requests are
+// coalesced into one synthesis, and estimation jobs run on a bounded worker
+// pool sized to the machine.
+//
+// Endpoints:
+//
+//	POST /synthesize  {"code":"Steane","prep":"opt","qasm":true}
+//	POST /estimate    {"options":{"code":"Steane"},"estimate":{"rates":[1e-3],"mc_shots":10000}}
+//	GET  /stats       cache and worker-pool counters
+//	GET  /healthz     liveness probe
+//
+// Usage:
+//
+//	server -addr :8080 -workers 8
+//	DFTSP_WORKERS=8 server
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/dftsp"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "Monte-Carlo workers per estimation job (0: DFTSP_WORKERS or CPU count)")
+	)
+	flag.Parse()
+
+	srv := newServer(dftsp.NewService(*workers))
+	log.Printf("dftsp server listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "server:", err)
+		os.Exit(1)
+	}
+}
+
+// server routes HTTP requests onto a dftsp.Service.
+type server struct {
+	svc *dftsp.Service
+	mux *http.ServeMux
+}
+
+func newServer(svc *dftsp.Service) *server {
+	s := &server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// synthesizeRequest is a dftsp.Options plus export switches; the options
+// fields are inlined in the JSON body.
+type synthesizeRequest struct {
+	dftsp.Options
+	QASM bool `json:"qasm,omitempty"` // include the OpenQASM 2.0 export
+}
+
+// synthesizeResponse reports the synthesized protocol.
+type synthesizeResponse struct {
+	Code     string `json:"code"`
+	Params   string `json:"params"`
+	Summary  string `json:"summary"`
+	Metrics  string `json:"metrics"`
+	Describe string `json:"describe"`
+	CacheHit bool   `json:"cache_hit"`
+	QASM     string `json:"qasm,omitempty"`
+}
+
+func (s *server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req synthesizeRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	p, hit, err := s.svc.Protocol(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := synthesizeResponse{
+		Code:     p.CodeName(),
+		Params:   p.CodeParams(),
+		Summary:  p.Summary(),
+		Metrics:  p.MetricsRow(),
+		Describe: p.Describe(),
+		CacheHit: hit,
+	}
+	if req.QASM {
+		q, err := p.QASM()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.QASM = q
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// estimateRequest selects a protocol and the estimation parameters.
+type estimateRequest struct {
+	Options  dftsp.Options         `json:"options"`
+	Estimate dftsp.EstimateOptions `json:"estimate"`
+}
+
+// estimateResponse wraps the estimate with protocol identification.
+type estimateResponse struct {
+	Code     string `json:"code"`
+	Params   string `json:"params"`
+	CacheHit bool   `json:"cache_hit"`
+	dftsp.EstimateResult
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	// Reject unusable estimation parameters before paying for synthesis.
+	if err := req.Estimate.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, hit, err := s.svc.Protocol(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.svc.EstimateProtocol(p, req.Estimate)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Code:           p.CodeName(),
+		Params:         p.CodeParams(),
+		CacheHit:       hit,
+		EstimateResult: res,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// decodePost enforces the POST+JSON contract shared by the two work
+// endpoints, writing the error response itself when the contract is broken.
+func decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with a JSON body"))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("server: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

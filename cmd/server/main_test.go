@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/dftsp"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(dftsp.NewService(2)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestSynthesizeSecondRequestIsCacheHit(t *testing.T) {
+	ts := newTestServer(t)
+
+	status, first := postJSON(t, ts.URL+"/synthesize", `{"code":"Steane"}`)
+	if status != http.StatusOK {
+		t.Fatalf("first synthesize: status %d: %v", status, first)
+	}
+	if first["cache_hit"] != false {
+		t.Fatalf("first request must miss the cache: %v", first)
+	}
+	if s, _ := first["summary"].(string); !strings.Contains(s, "Steane") {
+		t.Fatalf("summary missing code name: %v", first)
+	}
+
+	// The second identical request must be served from the protocol cache
+	// without re-running synthesis.
+	status, second := postJSON(t, ts.URL+"/synthesize", `{"code":"Steane"}`)
+	if status != http.StatusOK {
+		t.Fatalf("second synthesize: status %d: %v", status, second)
+	}
+	if second["cache_hit"] != true {
+		t.Fatalf("second identical request was not a cache hit: %v", second)
+	}
+	if second["summary"] != first["summary"] || second["metrics"] != first["metrics"] {
+		t.Fatal("cache returned a different protocol")
+	}
+
+	// The service counters confirm exactly one synthesis ran.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats dftsp.ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses != 1 || stats.Hits != 1 || stats.Entries != 1 {
+		t.Fatalf("stats = %+v, want exactly one miss, one hit, one entry", stats)
+	}
+}
+
+func TestSynthesizeQASMAndErrors(t *testing.T) {
+	ts := newTestServer(t)
+
+	status, out := postJSON(t, ts.URL+"/synthesize", `{"code":"Steane","qasm":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	if q, _ := out["qasm"].(string); !strings.Contains(q, "OPENQASM 2.0") {
+		t.Fatalf("missing QASM export: %v", out["qasm"])
+	}
+
+	status, out = postJSON(t, ts.URL+"/synthesize", `{"code":"NoSuchCode"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown code: status %d: %v", status, out)
+	}
+	if _, ok := out["error"]; !ok {
+		t.Fatalf("error response missing error field: %v", out)
+	}
+
+	status, out = postJSON(t, ts.URL+"/synthesize", `{"bogus_field":1}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d: %v", status, out)
+	}
+
+	resp, err := http.Get(ts.URL + "/synthesize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /synthesize: status %d", resp.StatusCode)
+	}
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+
+	body := `{"options":{"code":"Steane"},"estimate":{"rates":[0.01],"max_order":2,"samples":500,"mc_shots":500}}`
+	status, out := postJSON(t, ts.URL+"/estimate", body)
+	if status != http.StatusOK {
+		t.Fatalf("estimate: status %d: %v", status, out)
+	}
+	if out["code"] != "Steane" || out["cache_hit"] != false {
+		t.Fatalf("unexpected response envelope: %v", out)
+	}
+	points, ok := out["points"].([]any)
+	if !ok || len(points) != 1 {
+		t.Fatalf("want 1 point, got %v", out["points"])
+	}
+	pt := points[0].(map[string]any)
+	if pl, _ := pt["pl"].(float64); pl <= 0 || pl >= 1 {
+		t.Fatalf("pL = %v outside (0,1)", pt["pl"])
+	}
+
+	// A second estimate for the same code reuses the cached protocol.
+	status, out = postJSON(t, ts.URL+"/estimate", body)
+	if status != http.StatusOK || out["cache_hit"] != true {
+		t.Fatalf("second estimate not served from cache: status %d %v", status, out)
+	}
+
+	status, out = postJSON(t, ts.URL+"/estimate", `{"options":{"code":"Steane"},"estimate":{"rates":[7]}}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad rate: status %d: %v", status, out)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+}

@@ -1,7 +1,8 @@
 // Command table1 regenerates Table I of the paper: circuit metrics of the
 // synthesized deterministic fault-tolerant state preparation protocols for
 // |0>_L of every catalog code, across preparation (Heu/Opt) and
-// verification (Opt/Global) synthesis methods.
+// verification (Opt/Global) synthesis methods. It is a thin flag wrapper
+// over the public dftsp package.
 //
 // Usage:
 //
@@ -17,8 +18,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/code"
-	"repro/internal/core"
+	"repro/dftsp"
 )
 
 func main() {
@@ -29,13 +29,17 @@ func main() {
 	)
 	flag.Parse()
 
-	codes := code.Catalog()
+	codes := dftsp.Codes()
 	if *codesFlag != "" {
+		byName := map[string]dftsp.CodeDescriptor{}
+		for _, c := range codes {
+			byName[c.Name] = c
+		}
 		codes = nil
 		for _, name := range strings.Split(*codesFlag, ",") {
-			c, err := code.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+			c, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "table1: unknown code %q (available: %v)\n", name, dftsp.CodeNames())
 				os.Exit(1)
 			}
 			codes = append(codes, c)
@@ -43,18 +47,18 @@ func main() {
 	}
 
 	type method struct {
-		prep  core.PrepMethod
-		verif core.VerifMethod
+		prep  string
+		verif string
 		maxN  int // largest code the method is attempted on
 	}
-	methods := []method{{core.PrepHeuristic, core.VerifOptimal, 1 << 30}}
+	methods := []method{{dftsp.PrepHeuristic, dftsp.VerifOptimal, 1 << 30}}
 	if *all {
 		// Mirror the paper: exact preparation synthesis and global
 		// optimization are only run where tractable.
 		methods = append(methods,
-			method{core.PrepHeuristic, core.VerifGlobal, 12},
-			method{core.PrepOptimal, core.VerifOptimal, 9},
-			method{core.PrepOptimal, core.VerifGlobal, 9},
+			method{dftsp.PrepHeuristic, dftsp.VerifGlobal, 12},
+			method{dftsp.PrepOptimal, dftsp.VerifOptimal, 9},
+			method{dftsp.PrepOptimal, dftsp.VerifGlobal, 9},
 		)
 	}
 
@@ -62,23 +66,30 @@ func main() {
 	fmt.Println("(per layer: am/af = verification/flag ancillas, wm/wf = their CNOTs;")
 	fmt.Println(" corr lists ancillas/CNOTs per branch, 'f' marks flag branches)")
 	fmt.Println()
-	for _, cs := range codes {
+	for _, c := range codes {
 		for _, m := range methods {
-			if cs.N > m.maxN {
+			if c.N > m.maxN {
 				continue
 			}
 			t0 := time.Now()
-			p, err := core.Build(cs, core.Config{Prep: m.prep, Verif: m.verif})
+			p, err := dftsp.Synthesize(dftsp.Options{Code: c.Name, Prep: m.prep, Verif: m.verif})
 			if err != nil {
-				fmt.Printf("%-12s %s/%s: ERROR: %v\n", cs.Name, m.prep, m.verif, err)
+				fmt.Printf("%-12s %s/%s: ERROR: %v\n", c.Name, m.prep, m.verif, err)
 				continue
 			}
-			row := p.ComputeMetrics()
-			fmt.Printf("%-4s/%-6s %s", m.prep, m.verif, row.FormatRow())
+			fmt.Printf("%-4s/%-6s %s", title(m.prep), title(m.verif), p.MetricsRow())
 			if *check {
 				fmt.Printf("  [%.1fs]", time.Since(t0).Seconds())
 			}
 			fmt.Println()
 		}
 	}
+}
+
+// title capitalizes a method name for display ("heu" -> "Heu").
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
 }

@@ -1,0 +1,242 @@
+package dftsp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSynthesizeSteaneDefaults(t *testing.T) {
+	p, err := Synthesize(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CodeName() != "Steane" {
+		t.Fatalf("default code = %q, want Steane", p.CodeName())
+	}
+	if p.Options.Prep != PrepHeuristic || p.Options.Verif != VerifOptimal {
+		t.Fatalf("options not normalized: %+v", p.Options)
+	}
+	if err := p.Certify(); err != nil {
+		t.Fatalf("Steane protocol failed the FT certificate: %v", err)
+	}
+	if p.FaultLocations() == 0 {
+		t.Fatal("no fault locations reported")
+	}
+	if !strings.Contains(p.Summary(), "Steane") {
+		t.Fatalf("summary missing code name: %q", p.Summary())
+	}
+	if !strings.Contains(p.Describe(), "layer 1") {
+		t.Fatalf("describe missing layer report: %q", p.Describe())
+	}
+	q, err := p.QASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q, "OPENQASM 2.0") {
+		t.Fatalf("QASM export missing header: %q", q[:60])
+	}
+}
+
+func TestSynthesizeCustomCodeMatchesCatalog(t *testing.T) {
+	// The Steane code given explicitly as check matrices.
+	rows := []string{"1100110", "1010101", "0001111"}
+	p, err := Synthesize(Options{Hx: rows, Hz: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CodeParams() != "[[7,1,3]]" {
+		t.Fatalf("custom code params = %q, want [[7,1,3]]", p.CodeParams())
+	}
+	if err := p.Certify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []Options{
+		{Code: "Steane", SurfaceDistance: 3},       // two sources
+		{Hx: []string{"11"}},                       // hx without hz
+		{SurfaceDistance: 4},                       // even distance
+		{Code: "Steane", Prep: "banana"},           // bad prep
+		{Code: "Steane", Verif: "banana"},          // bad verif
+		{Code: "NoSuchCode"},                       // unknown catalog name
+		{Hx: []string{"110"}, Hz: []string{"011"}}, // anticommuting rows
+	}
+	for i, o := range cases {
+		if _, err := Synthesize(o); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, o)
+		}
+	}
+}
+
+func TestOptionsKeyCanonicalization(t *testing.T) {
+	a, err := Options{}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Options{Code: "Steane", Prep: "HEU", Verif: "OPT"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("equivalent options produced different keys:\n%s\n%s", a, b)
+	}
+	c, err := Options{Code: "Steane", Prep: "opt"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different prep methods share a cache key")
+	}
+}
+
+func TestEstimateSteane(t *testing.T) {
+	p, err := Synthesize(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Estimate(EstimateOptions{
+		Rates:    []float64{1e-3, 1e-2},
+		MaxOrder: 2,
+		Samples:  2000,
+		MCShots:  2000,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Locations == 0 {
+		t.Fatal("no fault locations")
+	}
+	if res.F[1] != 0 {
+		t.Fatalf("F[1] = %g, want 0 for a fault-tolerant protocol", res.F[1])
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.PL <= 0 || pt.PL >= 1 {
+			t.Fatalf("pL(%g) = %g outside (0,1)", pt.P, pt.PL)
+		}
+	}
+	if res.Points[1].MC == 0 {
+		t.Fatal("Monte-Carlo cross-check sampled no failures at p=1e-2")
+	}
+	if _, err := p.Estimate(EstimateOptions{Rates: []float64{2}}); err == nil {
+		t.Fatal("rate outside (0,1) accepted")
+	}
+}
+
+func TestServiceCachesAndCoalesces(t *testing.T) {
+	svc := NewService(2)
+	opts := Options{Code: "Steane"}
+
+	p1, hit, err := svc.Protocol(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first request reported a cache hit")
+	}
+
+	// An equivalent (differently spelled) request must hit the cache and
+	// return the identical protocol object.
+	p2, hit, err := svc.Protocol(Options{Code: "Steane", Prep: "HEU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second identical request missed the cache")
+	}
+	if p1 != p2 {
+		t.Fatal("cache returned a different protocol object")
+	}
+
+	// Concurrent identical requests coalesce onto one synthesis.
+	svc2 := NewService(2)
+	var wg sync.WaitGroup
+	protos := make([]*Protocol, 8)
+	for i := range protos {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := svc2.Protocol(opts)
+			if err != nil {
+				t.Error(err)
+			}
+			protos[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range protos {
+		if p != protos[0] {
+			t.Fatal("coalesced requests returned different protocol objects")
+		}
+	}
+	st := svc2.Stats()
+	if st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats after coalesced burst: %+v, want 1 miss / 1 entry", st)
+	}
+
+	// Failed synthesis must not poison the cache.
+	if _, _, err := svc.Protocol(Options{Code: "NoSuchCode"}); err == nil {
+		t.Fatal("expected error for unknown code")
+	}
+	if n := svc.Stats().Entries; n != 1 {
+		t.Fatalf("failed request left %d entries, want 1", n)
+	}
+}
+
+func TestServiceEstimate(t *testing.T) {
+	svc := NewService(2)
+	opts := Options{Code: "Steane"}
+	eo := EstimateOptions{Rates: []float64{1e-2}, MaxOrder: 2, Samples: 500}
+	res, hit, err := svc.Estimate(opts, eo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first estimate reported a protocol cache hit")
+	}
+	if len(res.Points) != 1 || res.Points[0].PL <= 0 {
+		t.Fatalf("bad estimate result: %+v", res)
+	}
+	if _, hit, _ = svc.Estimate(opts, eo); !hit {
+		t.Fatal("second estimate missed the protocol cache")
+	}
+}
+
+func TestSearchRoundTrip(t *testing.T) {
+	// A tiny search that terminates fast: the [[4,2,2]] C4 parameters.
+	fc, err := Search(SearchOptions{N: 4, K: 2, D: 2, SelfDual: true, Seed: 1, MaxTries: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.DX < 2 || fc.DZ < 2 {
+		t.Fatalf("found code below target distance: %+v", fc)
+	}
+	// The found rows must plug straight back into synthesis options.
+	if _, err := (Options{Hx: fc.Hx, Hz: fc.Hz}).Key(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search(SearchOptions{N: 4, K: 2, D: 2, Mode: "banana"}); err == nil {
+		t.Fatal("unknown search mode accepted")
+	}
+}
+
+func TestCodeNames(t *testing.T) {
+	names := CodeNames()
+	if len(names) == 0 {
+		t.Fatal("empty catalog")
+	}
+	found := false
+	for _, n := range names {
+		if n == "Steane" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Steane missing from catalog names %v", names)
+	}
+}

@@ -1,0 +1,92 @@
+package dftsp
+
+import (
+	"fmt"
+
+	"repro/internal/code"
+)
+
+// Code-search strategies accepted by SearchOptions.Mode.
+const (
+	SearchRandom           = "random"            // randomized subspace sampling
+	SearchClimb            = "climb"             // hill-climbing refinement
+	SearchGaugeTesseract   = "gauge-tesseract"   // gauge fixings of the [[16,6,4]] tesseract code
+	SearchShortenTesseract = "shorten-tesseract" // shortenings of the tesseract code
+)
+
+// SearchOptions configures CSS code discovery with prescribed [[n,k,d]]
+// parameters. Every candidate's distance is certified exactly.
+type SearchOptions struct {
+	N int `json:"n"` // physical qubits
+	K int `json:"k"` // logical qubits
+	D int `json:"d"` // required minimum distance (both dX and dZ)
+
+	// RankX fixes the rank of Hx for non-self-dual searches; 0 lets the
+	// search choose.
+	RankX int `json:"rank_x,omitempty"`
+
+	// SelfDual requires Hx = Hz (weakly self-dual codes).
+	SelfDual bool `json:"self_dual,omitempty"`
+
+	// Mode selects the strategy: SearchRandom (default), SearchClimb,
+	// SearchGaugeTesseract or SearchShortenTesseract.
+	Mode string `json:"mode,omitempty"`
+
+	// MaxTries is the candidate budget; 0 selects a strategy default.
+	MaxTries int `json:"max_tries,omitempty"`
+
+	// Seed seeds the randomized strategies.
+	Seed int64 `json:"seed,omitempty"`
+
+	// MinStabWeight, if positive, rejects codes whose stabilizer span
+	// contains a non-zero element lighter than this.
+	MinStabWeight int `json:"min_stab_weight,omitempty"`
+}
+
+// FoundCode reports a discovered code. Its Hx/Hz rows plug directly into
+// Options.Hx/Options.Hz, so a found code can be synthesized immediately.
+type FoundCode struct {
+	Params string   `json:"params"` // [[n,k,d]] of the found code
+	DX     int      `json:"dx"`     // certified X distance
+	DZ     int      `json:"dz"`     // certified Z distance
+	Hx     []string `json:"hx"`     // X check matrix rows as bit strings
+	Hz     []string `json:"hz"`     // Z check matrix rows as bit strings
+}
+
+// Search discovers a CSS code with the prescribed parameters using the
+// selected strategy, certifying the distance exactly. It returns an error
+// when the budget is exhausted without a hit.
+func Search(o SearchOptions) (*FoundCode, error) {
+	opt := code.SearchOptions{
+		N: o.N, K: o.K, D: o.D, RankX: o.RankX, SelfDual: o.SelfDual,
+		MaxTries: o.MaxTries, Seed: o.Seed, MinStabWeight: o.MinStabWeight,
+	}
+	var c *code.CSS
+	switch o.Mode {
+	case "", SearchRandom:
+		c = code.Search(opt)
+	case SearchClimb:
+		if o.SelfDual {
+			c = code.SearchSelfDualClimb(opt)
+		} else {
+			c = code.SearchCSSClimb(opt)
+		}
+	case SearchGaugeTesseract:
+		c = code.GaugeFixTesseract(o.Seed, o.D)
+	case SearchShortenTesseract:
+		c = code.ShortenTesseract(o.N, o.K, o.D)
+	default:
+		return nil, fmt.Errorf("dftsp: unknown search mode %q", o.Mode)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("dftsp: no [[%d,%d,%d]] code found within budget", o.N, o.K, o.D)
+	}
+	fc := &FoundCode{Params: c.Params(), DX: c.DistanceX(), DZ: c.DistanceZ()}
+	for i := 0; i < c.Hx.Rows(); i++ {
+		fc.Hx = append(fc.Hx, c.Hx.Row(i).String())
+	}
+	for i := 0; i < c.Hz.Rows(); i++ {
+		fc.Hz = append(fc.Hz, c.Hz.Row(i).String())
+	}
+	return fc, nil
+}

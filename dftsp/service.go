@@ -1,0 +1,135 @@
+package dftsp
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Service is the long-running core of a synthesis server: it memoizes
+// SAT-synthesized protocols in an in-memory cache keyed by the canonical
+// Options key, coalesces concurrent identical requests so each distinct
+// protocol is synthesized exactly once, and bounds the number of concurrent
+// estimation jobs so Monte-Carlo fan-out never oversubscribes the CPUs.
+type Service struct {
+	workers int // per-job Monte-Carlo worker count
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    uint64
+	misses  uint64
+
+	estSem chan struct{} // bounds concurrent estimation jobs
+}
+
+// cacheEntry is one cache slot. ready is closed when the synthesis that
+// populated the slot finished; waiters block on it instead of re-running
+// the SAT solver.
+type cacheEntry struct {
+	ready chan struct{}
+	p     *Protocol
+	err   error
+}
+
+// ServiceStats is a snapshot of the service's cache counters.
+type ServiceStats struct {
+	Entries int    `json:"entries"` // cached protocols
+	Hits    uint64 `json:"hits"`    // requests served from cache (incl. coalesced)
+	Misses  uint64 `json:"misses"`  // requests that ran synthesis
+	Workers int    `json:"workers"` // Monte-Carlo workers per estimation job
+}
+
+// NewService returns a service whose estimation jobs each use the given
+// Monte-Carlo worker count; workers <= 0 selects sim.DefaultWorkers(). The
+// number of concurrent estimation jobs is bounded so that jobs × workers
+// stays near the CPU count (always allowing at least one job).
+func NewService(workers int) *Service {
+	if workers <= 0 {
+		workers = sim.DefaultWorkers()
+	}
+	jobs := runtime.NumCPU() / workers
+	if jobs < 1 {
+		jobs = 1
+	}
+	return &Service{
+		workers: workers,
+		entries: map[string]*cacheEntry{},
+		estSem:  make(chan struct{}, jobs),
+	}
+}
+
+// Protocol returns the synthesized protocol for opts, serving it from the
+// cache when an identical request (same canonical key) was already
+// synthesized. The second return reports whether this was a cache hit.
+// Concurrent identical requests are coalesced: only the first runs the SAT
+// solver, the rest wait for its result. Failed syntheses are not cached, so
+// transient failures can be retried.
+func (s *Service) Protocol(opts Options) (*Protocol, bool, error) {
+	key, err := opts.Key()
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.hits++
+		s.mu.Unlock()
+		<-e.ready
+		return e.p, true, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	s.entries[key] = e
+	s.misses++
+	s.mu.Unlock()
+
+	// Release waiters and clear failed slots even if synthesis panics;
+	// otherwise the key would block every future request forever.
+	defer func() {
+		close(e.ready)
+		if e.err != nil || e.p == nil {
+			s.mu.Lock()
+			delete(s.entries, key)
+			s.mu.Unlock()
+		}
+	}()
+	e.p, e.err = Synthesize(opts)
+	return e.p, false, e.err
+}
+
+// Estimate synthesizes (or fetches) the protocol for opts and estimates its
+// logical error rate. The bool reports whether the protocol came from the
+// cache.
+func (s *Service) Estimate(opts Options, eo EstimateOptions) (EstimateResult, bool, error) {
+	p, hit, err := s.Protocol(opts)
+	if err != nil {
+		return EstimateResult{}, hit, err
+	}
+	res, err := s.EstimateProtocol(p, eo)
+	return res, hit, err
+}
+
+// EstimateProtocol estimates a protocol the caller already holds, running
+// the job under the service's bounded worker pool: at most jobs × workers
+// sampling goroutines machine-wide, however many requests are in flight.
+// Request-supplied worker counts are clamped to the service's per-job bound
+// so no single request can oversubscribe the machine.
+func (s *Service) EstimateProtocol(p *Protocol, eo EstimateOptions) (EstimateResult, error) {
+	if eo.Workers <= 0 || eo.Workers > s.workers {
+		eo.Workers = s.workers
+	}
+	s.estSem <- struct{}{}
+	defer func() { <-s.estSem }()
+	return p.Estimate(eo)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServiceStats{
+		Entries: len(s.entries),
+		Hits:    s.hits,
+		Misses:  s.misses,
+		Workers: s.workers,
+	}
+}

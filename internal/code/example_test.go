@@ -1,0 +1,36 @@
+package code_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/code"
+)
+
+// ExampleCatalog lists the paper's evaluation codes in Table I order.
+func ExampleCatalog() {
+	for _, c := range code.Catalog() {
+		fmt.Println(c)
+	}
+	// Output:
+	// Steane [[7,1,3]]
+	// Shor [[9,1,3]]
+	// Surface [[9,1,3]]
+	// [[11,1,3]] [[11,1,3]]
+	// Tetrahedral [[15,1,3]]
+	// Hamming [[15,7,3]]
+	// Carbon [[12,2,4]]
+	// [[16,2,4]] [[16,2,4]]
+	// Tesseract [[16,6,4]]
+}
+
+// ExampleByName looks a code up by its catalog name.
+func ExampleByName() {
+	c, err := code.ByName("Steane")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: n=%d k=%d d=%d\n", c.Name, c.N, c.K, c.Distance())
+	// Output:
+	// Steane: n=7 k=1 d=3
+}

@@ -1,0 +1,67 @@
+package code
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ShortenTesseract brute-forces sequences of single-qubit Z/X shortenings of
+// the [[16,6,4]] tesseract code down to n qubits, returning the first
+// candidate whose parameters reach [[n,k,>=d]], or nil when none exists.
+func ShortenTesseract(n, k, d int) *CSS {
+	type state struct{ c *CSS }
+	frontier := []state{{Tesseract()}}
+	seen := map[string]bool{}
+	for len(frontier) > 0 {
+		var next []state
+		for _, st := range frontier {
+			if st.c.N == n {
+				if st.c.K == k && st.c.DistanceX() >= d && st.c.DistanceZ() >= d {
+					st.c.Name = fmt.Sprintf("[[%d,%d,%d]]", n, k, d)
+					return st.c
+				}
+				continue
+			}
+			for q := 0; q < st.c.N; q++ {
+				for _, sh := range []func(*CSS, int) (*CSS, error){ShortenZ, ShortenX} {
+					nc, err := sh(st.c, q)
+					if err != nil || nc.K < k {
+						continue
+					}
+					key := nc.Hx.SpanBasis().String() + "#" + nc.Hz.SpanBasis().String()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					// Prune branches whose distance already dropped.
+					if nc.DistanceX() < d || nc.DistanceZ() < d {
+						continue
+					}
+					next = append(next, state{nc})
+				}
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// GaugeFixTesseract promotes random pairs of tesseract logicals to
+// stabilizers until a commuting [[16,2,>=d]] gauge fixing is found, or nil
+// when the internal budget is exhausted.
+func GaugeFixTesseract(seed int64, d int) *CSS {
+	rng := rand.New(rand.NewSource(seed))
+	base := Tesseract()
+	for try := 0; try < 200000; try++ {
+		xs := rng.Perm(base.K)[:4]
+		zs := rng.Perm(base.K)[:4]
+		c, err := GaugeFix(base, "[[16,2,4]]", xs[:2], zs[:2])
+		if err != nil || c.K != 2 {
+			continue
+		}
+		if c.DistanceX() >= d && c.DistanceZ() >= d {
+			return c
+		}
+	}
+	return nil
+}

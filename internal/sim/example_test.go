@@ -1,0 +1,32 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/code"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ExampleEstimator certifies a Steane protocol and evaluates its exact
+// single-fault failure probability: for a fault-tolerant protocol the
+// exhaustively enumerated order-1 stratum must be zero.
+func ExampleEstimator() {
+	proto, err := core.Build(code.Steane(), core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.ExhaustiveFaultCheck(proto); err != nil {
+		log.Fatal("not fault-tolerant: ", err)
+	}
+
+	est := sim.NewEstimator(proto)
+	res := est.FaultOrder(1, 0, rand.New(rand.NewSource(1)))
+	fmt.Printf("fault locations: %d\n", res.N)
+	fmt.Printf("P(logical error | 1 fault) = %g\n", res.F[1])
+	// Output:
+	// fault locations: 21
+	// P(logical error | 1 fault) = 0
+}

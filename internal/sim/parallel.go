@@ -2,19 +2,39 @@ package sim
 
 import (
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/noise"
 )
 
-// DirectMCParallel is DirectMC fanned out over all CPUs: shots are split
-// across workers, each with an independent RNG stream derived from seed.
-// The protocol object is shared read-only; every worker owns its frame
-// executor state, so the sampling is race-free and the result depends only
-// on (seed, workers, shots).
-func (est *Estimator) DirectMCParallel(p float64, shots int, seed int64) float64 {
-	workers := runtime.GOMAXPROCS(0)
+// WorkersEnv is the environment variable consulted by DefaultWorkers for the
+// estimation worker count.
+const WorkersEnv = "DFTSP_WORKERS"
+
+// DefaultWorkers returns the worker count used by DirectMCParallel when the
+// caller passes workers <= 0: the value of the DFTSP_WORKERS environment
+// variable when set to a positive integer, otherwise runtime.NumCPU().
+func DefaultWorkers() int {
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// DirectMCParallel is DirectMC fanned out over a bounded worker pool: shots
+// are split across workers, each with an independent RNG stream derived from
+// seed. workers <= 0 selects DefaultWorkers(). The protocol object is shared
+// read-only; every worker owns its frame executor state, so the sampling is
+// race-free and the result depends only on (seed, workers, shots).
+func (est *Estimator) DirectMCParallel(p float64, shots int, seed int64, workers int) float64 {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
 	if workers > shots {
 		workers = 1
 	}

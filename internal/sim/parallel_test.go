@@ -11,7 +11,7 @@ func TestDirectMCParallelAgreesWithSerial(t *testing.T) {
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
 	const pp, shots = 0.03, 40000
-	par := est.DirectMCParallel(pp, shots, 5)
+	par := est.DirectMCParallel(pp, shots, 5, 0)
 	ser := est.DirectMC(pp, shots, rand.New(rand.NewSource(6)))
 	if par == 0 || ser == 0 {
 		t.Fatalf("no failures sampled: par=%g ser=%g", par, ser)
@@ -25,8 +25,8 @@ func TestDirectMCParallelAgreesWithSerial(t *testing.T) {
 func TestDirectMCParallelDeterministicForSeed(t *testing.T) {
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
-	a := est.DirectMCParallel(0.05, 5000, 42)
-	b := est.DirectMCParallel(0.05, 5000, 42)
+	a := est.DirectMCParallel(0.05, 5000, 42, 0)
+	b := est.DirectMCParallel(0.05, 5000, 42, 0)
 	if a != b {
 		t.Fatalf("same seed gave %g and %g", a, b)
 	}
@@ -36,5 +36,31 @@ func TestDirectMCParallelSmallShotCount(t *testing.T) {
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
 	// Fewer shots than CPUs must still work.
-	_ = est.DirectMCParallel(0.1, 3, 1)
+	_ = est.DirectMCParallel(0.1, 3, 1, 0)
+}
+
+func TestDirectMCParallelExplicitWorkers(t *testing.T) {
+	p := buildProto(t, code.Steane())
+	est := NewEstimator(p)
+	// The result is a pure function of (seed, workers, shots), so a fixed
+	// worker count must reproduce exactly regardless of the machine.
+	a := est.DirectMCParallel(0.05, 4000, 7, 3)
+	b := est.DirectMCParallel(0.05, 4000, 7, 3)
+	if a != b {
+		t.Fatalf("explicit worker count not deterministic: %g vs %g", a, b)
+	}
+	if c := est.DirectMCParallel(0.05, 4000, 7, 1); c == 0 && a == 0 {
+		t.Fatal("no failures sampled at p=0.05")
+	}
+}
+
+func TestDefaultWorkersEnv(t *testing.T) {
+	t.Setenv(WorkersEnv, "3")
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers with %s=3: got %d", WorkersEnv, got)
+	}
+	t.Setenv(WorkersEnv, "not-a-number")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers fallback: got %d", got)
+	}
 }
