@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -31,7 +32,7 @@ func BenchmarkTable1HeuOpt(b *testing.B) {
 		cs := cs
 		b.Run(cs.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				p, err := core.Build(cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
+				p, err := core.Build(context.Background(), cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -49,7 +50,7 @@ func BenchmarkTable1OptPrep(b *testing.B) {
 		cs := cs
 		b.Run(cs.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Build(cs, core.Config{Prep: core.PrepOptimal}); err != nil {
+				if _, err := core.Build(context.Background(), cs, core.Config{Prep: core.PrepOptimal}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -62,7 +63,7 @@ func BenchmarkTable1Global(b *testing.B) {
 		cs := cs
 		b.Run(cs.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Build(cs, core.Config{Verif: core.VerifGlobal, GlobalLimit: 8}); err != nil {
+				if _, err := core.Build(context.Background(), cs, core.Config{Verif: core.VerifGlobal, GlobalLimit: 8}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -83,7 +84,7 @@ func cachedProtocol(b *testing.B, cs *code.CSS) *core.Protocol {
 	if p, ok := protoCache.Load(cs.Name); ok {
 		return p.(*core.Protocol)
 	}
-	p, err := core.Build(cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
+	p, err := core.Build(context.Background(), cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -120,7 +121,10 @@ func BenchmarkFig4Estimate(b *testing.B) {
 			rng := rand.New(rand.NewSource(2))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := est.FaultOrder(2, 2000, rng)
+				res, err := est.FaultOrder(context.Background(), 2, 2000, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
 				b.ReportMetric(res.Rate(1e-3)*1e6, "pL@1e-3·1e6")
 			}
 		})
@@ -154,7 +158,7 @@ func BenchmarkAblationPairPruning(b *testing.B) {
 	cs := code.ReedMuller15()
 	circ := prep.Heuristic(cs)
 	ex := verify.DangerousErrors(cs, circ, code.ErrX)
-	ver, err := verify.Synthesize(cs.DetectionGroup(code.ErrX), ex)
+	ver, err := verify.Synthesize(context.Background(), cs.DetectionGroup(code.ErrX), ex)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -169,7 +173,7 @@ func BenchmarkAblationPairPruning(b *testing.B) {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := correct.Synthesize(cs.DetectionGroup(code.ErrX), cs.ReductionGroup(code.ErrX), class, tc.opt); err != nil {
+				if _, err := correct.Synthesize(context.Background(), cs.DetectionGroup(code.ErrX), cs.ReductionGroup(code.ErrX), class, tc.opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -191,7 +195,7 @@ func BenchmarkAblationFlagAll(b *testing.B) {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				p, err := core.Build(cs, core.Config{FlagAll: tc.flagAll})
+				p, err := core.Build(context.Background(), cs, core.Config{FlagAll: tc.flagAll})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -245,7 +249,11 @@ func BenchmarkPrepSynthesis(b *testing.B) {
 	b.Run("optimal-steane", func(b *testing.B) {
 		cs := code.Steane()
 		for i := 0; i < b.N; i++ {
-			if prep.Optimal(cs, 0) == nil {
+			c, err := prep.Optimal(context.Background(), cs, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c == nil {
 				b.Fatal("optimal synthesis gave up")
 			}
 		}

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/dftsp"
 )
@@ -47,7 +50,10 @@ func main() {
 		mode = dftsp.SearchClimb
 	}
 
-	fc, err := dftsp.Search(dftsp.SearchOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fc, err := dftsp.Search(ctx, dftsp.SearchOptions{
 		N: *n, K: *k, D: *d, RankX: *rx, SelfDual: *selfDual,
 		Mode: mode, MaxTries: *tries, Seed: *seed, MinStabWeight: *minStab,
 	})

@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/dftsp"
 )
@@ -51,7 +54,12 @@ func main() {
 		opts.Hz = strings.Split(*hzFlag, ",")
 	}
 
-	p, err := dftsp.Synthesize(opts)
+	// Ctrl-C aborts the SAT solver mid-synthesis instead of being ignored
+	// until the next process-level preemption point.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	p, err := dftsp.Synthesize(ctx, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -67,7 +75,7 @@ func main() {
 	}
 
 	if *rate > 0 {
-		res, err := p.Estimate(dftsp.EstimateOptions{
+		res, err := p.Estimate(ctx, dftsp.EstimateOptions{
 			Rates:   []float64{*rate},
 			MCShots: *shots,
 			Workers: *workers,

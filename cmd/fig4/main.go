@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/dftsp"
 )
@@ -49,7 +52,14 @@ func main() {
 		}
 	}
 
-	grid := dftsp.LogGrid(1e-4, 1e-1, *points)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	grid, err := dftsp.LogGrid(1e-4, 1e-1, *points)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig4:", err)
+		os.Exit(1)
+	}
 	fmt.Println("series,p,pL")
 	for _, p := range grid {
 		fmt.Printf("Linear,%.6g,%.6g\n", p, p)
@@ -68,7 +78,7 @@ func main() {
 		go func(i int, name string) {
 			var r result
 			defer func() { results[i] <- r }()
-			proto, err := dftsp.Synthesize(dftsp.Options{Code: name})
+			proto, err := dftsp.Synthesize(ctx, dftsp.Options{Code: name})
 			if err != nil {
 				r.err = fmt.Errorf("%s: %v", name, err)
 				return
@@ -77,7 +87,7 @@ func main() {
 				r.err = fmt.Errorf("%s failed the FT certificate: %v", name, err)
 				return
 			}
-			res, err := proto.Estimate(dftsp.EstimateOptions{
+			res, err := proto.Estimate(ctx, dftsp.EstimateOptions{
 				Rates:     grid,
 				MaxOrder:  *maxW,
 				Samples:   *samples,

@@ -4,26 +4,46 @@
 // coalesced into one synthesis, and estimation jobs run on a bounded worker
 // pool sized to the machine.
 //
+// Every handler works off the request context: a client that hangs up (or a
+// per-request timeout that fires, see -timeout) cancels the in-flight SAT
+// solving and Monte-Carlo sampling instead of letting them run to
+// completion. Errors map onto HTTP statuses through the dftsp error
+// taxonomy: ErrBadOptions → 400, ErrSynthesis/ErrCertification → 422,
+// cancellation/timeout → 503, anything else → 500. The process shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests.
+//
 // Endpoints:
 //
 //	POST /synthesize  {"code":"Steane","prep":"opt","qasm":true}
 //	POST /estimate    {"options":{"code":"Steane"},"estimate":{"rates":[1e-3],"mc_shots":10000}}
+//	POST /batch       {"items":[{"code":"Steane"},{"code":"Shor"}]}  → NDJSON event stream
 //	GET  /stats       cache and worker-pool counters
 //	GET  /healthz     liveness probe
 //
+// The /batch response is application/x-ndjson: one JSON event per line,
+// flushed as items progress (queued → synthesizing → done/error; items
+// cancelled while still queued skip synthesizing), each carrying the item
+// index, status and — on completion — code, params, summary, cache_hit
+// and elapsed_ms (error detail on failure).
+//
 // Usage:
 //
-//	server -addr :8080 -workers 8
+//	server -addr :8080 -workers 8 -timeout 5m
 //	DFTSP_WORKERS=8 server
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/dftsp"
 )
@@ -32,33 +52,78 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "Monte-Carlo workers per estimation job (0: DFTSP_WORKERS or CPU count)")
+		timeout = flag.Duration("timeout", 10*time.Minute, "per-request timeout (0: none)")
 	)
 	flag.Parse()
 
-	srv := newServer(dftsp.NewService(*workers))
+	srv := newServer(dftsp.NewService(*workers), *timeout)
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("dftsp server listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "server:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("dftsp server shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "server: shutdown:", err)
 		os.Exit(1)
 	}
 }
 
 // server routes HTTP requests onto a dftsp.Service.
 type server struct {
-	svc *dftsp.Service
-	mux *http.ServeMux
+	svc     *dftsp.Service
+	mux     *http.ServeMux
+	timeout time.Duration // per-request deadline; 0 disables
 }
 
-func newServer(svc *dftsp.Service) *server {
-	s := &server{svc: svc, mux: http.NewServeMux()}
+// newServer wires the routes. timeout, when positive, bounds every
+// request's context, so a stuck client cannot pin SAT work forever.
+func newServer(svc *dftsp.Service, timeout time.Duration) *server {
+	s := &server{svc: svc, mux: http.NewServeMux(), timeout: timeout}
 	s.mux.HandleFunc("/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusOf maps an error from the dftsp v2 taxonomy onto an HTTP status.
+// Cancellation is checked first: a timed-out request wrapped in ErrSynthesis
+// context must still surface as 503, not as a caller mistake.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, dftsp.ErrBadOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, dftsp.ErrSynthesis), errors.Is(err, dftsp.ErrCertification):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
 
 // synthesizeRequest is a dftsp.Options plus export switches; the options
 // fields are inlined in the JSON body.
@@ -83,9 +148,9 @@ func (s *server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	p, hit, err := s.svc.Protocol(req.Options)
+	p, hit, err := s.svc.Protocol(r.Context(), req.Options)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusOf(err), err)
 		return
 	}
 	resp := synthesizeResponse{
@@ -128,17 +193,17 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Reject unusable estimation parameters before paying for synthesis.
 	if err := req.Estimate.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusOf(err), err)
 		return
 	}
-	p, hit, err := s.svc.Protocol(req.Options)
+	p, hit, err := s.svc.Protocol(r.Context(), req.Options)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusOf(err), err)
 		return
 	}
-	res, err := s.svc.EstimateProtocol(p, req.Estimate)
+	res, err := s.svc.EstimateProtocol(r.Context(), p, req.Estimate)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusOf(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, estimateResponse{
@@ -146,6 +211,50 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Params:         p.CodeParams(),
 		CacheHit:       hit,
 		EstimateResult: res,
+	})
+}
+
+// batchRequest is a list of synthesis jobs processed as one streaming
+// request.
+type batchRequest struct {
+	Items []dftsp.Options `json:"items"`
+}
+
+// maxBatchItems caps one request's fan-out so a single client cannot queue
+// unbounded SAT work.
+const maxBatchItems = 64
+
+// handleBatch streams per-item NDJSON progress events while the service
+// synthesizes the batch. The 200 status and the headers go out with the
+// first event, so item failures are reported in-band as "error" events
+// rather than through the response status.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: batch needs at least one item", dftsp.ErrBadOptions))
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: batch of %d items exceeds the limit of %d", dftsp.ErrBadOptions, len(req.Items), maxBatchItems))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// SynthesizeBatch serializes onEvent calls, so no extra locking here.
+	s.svc.SynthesizeBatch(r.Context(), req.Items, func(ev dftsp.BatchEvent) {
+		if err := enc.Encode(ev); err != nil {
+			return // client gone; ctx cancellation tears the batch down
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
 	})
 }
 
@@ -161,8 +270,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// decodePost enforces the POST+JSON contract shared by the two work
-// endpoints, writing the error response itself when the contract is broken.
+// decodePost enforces the POST+JSON contract shared by the work endpoints,
+// writing the error response itself when the contract is broken.
 func decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with a JSON body"))

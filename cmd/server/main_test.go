@@ -1,21 +1,41 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/dftsp"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(dftsp.NewService(2)))
+	ts := httptest.NewServer(newServer(dftsp.NewService(2), 0))
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// newTrackedServer wraps the handler so tests can observe when an in-flight
+// request's handler actually returned — the observable for "client
+// disconnect aborts server-side work".
+func newTrackedServer(t *testing.T) (*httptest.Server, chan struct{}) {
+	t.Helper()
+	srv := newServer(dftsp.NewService(2), 0)
+	done := make(chan struct{}, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srv.ServeHTTP(w, r)
+		done <- struct{}{}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, done
 }
 
 func postJSON(t *testing.T, url, body string) (int, map[string]any) {
@@ -72,6 +92,9 @@ func TestSynthesizeSecondRequestIsCacheHit(t *testing.T) {
 	if stats.Misses != 1 || stats.Hits != 1 || stats.Entries != 1 {
 		t.Fatalf("stats = %+v, want exactly one miss, one hit, one entry", stats)
 	}
+	if stats.Failed != 0 || stats.Coalesced != 0 {
+		t.Fatalf("stats = %+v, want zero failed/coalesced counters", stats)
+	}
 }
 
 func TestSynthesizeQASMAndErrors(t *testing.T) {
@@ -85,12 +108,20 @@ func TestSynthesizeQASMAndErrors(t *testing.T) {
 		t.Fatalf("missing QASM export: %v", out["qasm"])
 	}
 
-	status, out = postJSON(t, ts.URL+"/synthesize", `{"code":"NoSuchCode"}`)
-	if status != http.StatusBadRequest {
-		t.Fatalf("unknown code: status %d: %v", status, out)
-	}
-	if _, ok := out["error"]; !ok {
-		t.Fatalf("error response missing error field: %v", out)
+	// Every invalid-options path must map to 400 via ErrBadOptions.
+	for _, body := range []string{
+		`{"code":"NoSuchCode"}`,
+		`{"code":"Steane","surface_distance":3}`,
+		`{"code":"Steane","prep":"banana"}`,
+		`{"hx":["110"],"hz":["011"]}`,
+	} {
+		status, out = postJSON(t, ts.URL+"/synthesize", body)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d: %v, want 400", body, status, out)
+		}
+		if _, ok := out["error"]; !ok {
+			t.Fatalf("error response missing error field: %v", out)
+		}
 	}
 
 	status, out = postJSON(t, ts.URL+"/synthesize", `{"bogus_field":1}`)
@@ -105,6 +136,27 @@ func TestSynthesizeQASMAndErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /synthesize: status %d", resp.StatusCode)
+	}
+}
+
+func TestStatusOfMapsTheTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("wrap: %w", dftsp.ErrBadOptions), http.StatusBadRequest},
+		{fmt.Errorf("wrap: %w", dftsp.ErrSynthesis), http.StatusUnprocessableEntity},
+		{fmt.Errorf("wrap: %w", dftsp.ErrCertification), http.StatusUnprocessableEntity},
+		{fmt.Errorf("wrap: %w", context.Canceled), http.StatusServiceUnavailable},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), http.StatusServiceUnavailable},
+		// Cancellation wins even when the synthesis wrapper is present.
+		{fmt.Errorf("%w: %w", dftsp.ErrSynthesis, context.Canceled), http.StatusServiceUnavailable},
+		{errors.New("mystery"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusOf(tc.err); got != tc.want {
+			t.Errorf("statusOf(%v) = %d, want %d", tc.err, got, tc.want)
+		}
 	}
 }
 
@@ -137,6 +189,146 @@ func TestEstimateEndpoint(t *testing.T) {
 	status, out = postJSON(t, ts.URL+"/estimate", `{"options":{"code":"Steane"},"estimate":{"rates":[7]}}`)
 	if status != http.StatusBadRequest {
 		t.Fatalf("bad rate: status %d: %v", status, out)
+	}
+}
+
+func TestEstimateClientDisconnectAbortsWork(t *testing.T) {
+	ts, done := newTrackedServer(t)
+
+	// Without cancellation this request samples for minutes; the client
+	// hangs up after 100ms and the handler must return almost immediately.
+	body := `{"options":{"code":"Steane"},"estimate":{"rates":[0.01],"max_order":2,"samples":100,"mc_shots":500000000}}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/estimate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request unexpectedly completed")
+	}
+	select {
+	case <-done:
+		// Handler returned: the in-flight Monte-Carlo was aborted.
+	case <-time.After(3 * time.Second):
+		t.Fatal("handler still running 3s after client disconnect")
+	}
+}
+
+// batchEvent mirrors the NDJSON event schema for decoding in tests.
+type batchEvent struct {
+	Index    int    `json:"index"`
+	Status   string `json:"status"`
+	Code     string `json:"code"`
+	Params   string `json:"params"`
+	Summary  string `json:"summary"`
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error"`
+	Elapsed  int64  `json:"elapsed_ms"`
+}
+
+func TestBatchStreamsNDJSONPerItemEvents(t *testing.T) {
+	ts := newTestServer(t)
+
+	body := `{"items":[{"code":"Steane"},{"code":"Shor"},{"code":"Surface"}]}`
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	events := map[int][]batchEvent{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev batchEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		events[ev.Index] = append(events[ev.Index], ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantCodes := map[int]string{0: "Steane", 1: "Shor", 2: "Surface"}
+	for i := 0; i < 3; i++ {
+		evs := events[i]
+		if len(evs) != 3 {
+			t.Fatalf("item %d: %d events %v, want queued/synthesizing/done", i, len(evs), evs)
+		}
+		if evs[0].Status != dftsp.BatchQueued || evs[1].Status != dftsp.BatchSynthesizing || evs[2].Status != dftsp.BatchDone {
+			t.Fatalf("item %d: event sequence %v", i, evs)
+		}
+		last := evs[2]
+		if last.Code != wantCodes[i] || last.Params == "" || last.Summary == "" {
+			t.Fatalf("item %d: done event incomplete: %+v", i, last)
+		}
+	}
+
+	// Invalid batches are rejected up front with 400.
+	status, _ := postJSON(t, ts.URL+"/batch", `{"items":[]}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", status)
+	}
+}
+
+func TestBatchCancelStopsPendingSATWork(t *testing.T) {
+	ts, done := newTrackedServer(t)
+
+	// Tetrahedral synthesis runs for seconds; cancelling the request
+	// context must stop the pending SAT work and return the handler.
+	body := `{"items":[{"code":"Tetrahedral"},{"code":"Carbon"}]}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			// Stream until the disconnect propagates.
+			_, err = bufio.NewReader(resp.Body).ReadString(0)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	<-errc
+
+	select {
+	case <-done:
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("handler took %v to abort after cancel", elapsed)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("batch handler still running 3s after cancel; SAT work not stopped")
 	}
 }
 

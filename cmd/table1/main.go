@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/dftsp"
@@ -66,13 +69,15 @@ func main() {
 	fmt.Println("(per layer: am/af = verification/flag ancillas, wm/wf = their CNOTs;")
 	fmt.Println(" corr lists ancillas/CNOTs per branch, 'f' marks flag branches)")
 	fmt.Println()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	for _, c := range codes {
 		for _, m := range methods {
 			if c.N > m.maxN {
 				continue
 			}
 			t0 := time.Now()
-			p, err := dftsp.Synthesize(dftsp.Options{Code: c.Name, Prep: m.prep, Verif: m.verif})
+			p, err := dftsp.Synthesize(ctx, dftsp.Options{Code: c.Name, Prep: m.prep, Verif: m.verif})
 			if err != nil {
 				fmt.Printf("%-12s %s/%s: ERROR: %v\n", c.Name, m.prep, m.verif, err)
 				continue

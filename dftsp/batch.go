@@ -1,0 +1,106 @@
+package dftsp
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Batch item lifecycle statuses, in the order a healthy item traverses
+// them. Every item emits BatchQueued exactly once and ends with exactly
+// one of BatchDone or BatchError; BatchSynthesizing is emitted in between
+// unless the batch is cancelled while the item is still queued, in which
+// case the item goes straight from BatchQueued to BatchError.
+const (
+	BatchQueued       = "queued"
+	BatchSynthesizing = "synthesizing"
+	BatchDone         = "done"
+	BatchError        = "error"
+)
+
+// BatchEvent is one progress event of a batch synthesis job. Events are
+// delivered serially (the callback is never invoked concurrently) but not
+// globally ordered across items: item 3 may finish before item 0 starts.
+type BatchEvent struct {
+	Index    int    `json:"index"`             // position in the request's item list
+	Status   string `json:"status"`            // queued | synthesizing | done | error
+	Code     string `json:"code,omitempty"`    // code name, on done
+	Params   string `json:"params,omitempty"`  // [[n,k,d]], on done
+	Summary  string `json:"summary,omitempty"` // one-line protocol summary, on done
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`      // failure detail, on error
+	Elapsed  int64  `json:"elapsed_ms,omitempty"` // synthesis wall time, on done/error
+}
+
+// BatchResult is the terminal outcome of one batch item.
+type BatchResult struct {
+	Index    int
+	Protocol *Protocol // nil on failure
+	CacheHit bool
+	Err      error
+	Elapsed  time.Duration
+}
+
+// SynthesizeBatch synthesizes every item of the batch through the service's
+// protocol cache, running at most NumCPU items concurrently (identical
+// items still coalesce onto one synthesis). onEvent, when non-nil, receives
+// per-item progress events (queued → synthesizing → done/error) as they
+// happen, serialized so the callback needs no locking — the feed of an
+// NDJSON progress stream.
+//
+// Cancelling ctx aborts in-flight SAT work (subject to the coalescing rule:
+// work another request still waits on survives) and fails every pending
+// item with ctx.Err(). The returned slice always has len(items) entries in
+// item order.
+func (s *Service) SynthesizeBatch(ctx context.Context, items []Options, onEvent func(BatchEvent)) []BatchResult {
+	var emitMu sync.Mutex
+	emit := func(ev BatchEvent) {
+		if onEvent == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		onEvent(ev)
+	}
+
+	results := make([]BatchResult, len(items))
+	for i := range items {
+		emit(BatchEvent{Index: i, Status: BatchQueued})
+	}
+
+	var wg sync.WaitGroup
+	for i, opts := range items {
+		wg.Add(1)
+		go func(i int, opts Options) {
+			defer wg.Done()
+			select {
+			case s.batchSem <- struct{}{}:
+				defer func() { <-s.batchSem }()
+			case <-ctx.Done():
+				results[i] = BatchResult{Index: i, Err: ctx.Err()}
+				emit(BatchEvent{Index: i, Status: BatchError, Error: ctx.Err().Error()})
+				return
+			}
+			emit(BatchEvent{Index: i, Status: BatchSynthesizing})
+			start := time.Now()
+			p, hit, err := s.Protocol(ctx, opts)
+			elapsed := time.Since(start)
+			results[i] = BatchResult{Index: i, Protocol: p, CacheHit: hit, Err: err, Elapsed: elapsed}
+			if err != nil {
+				emit(BatchEvent{Index: i, Status: BatchError, Error: err.Error(), Elapsed: elapsed.Milliseconds()})
+				return
+			}
+			emit(BatchEvent{
+				Index:    i,
+				Status:   BatchDone,
+				Code:     p.CodeName(),
+				Params:   p.CodeParams(),
+				Summary:  p.Summary(),
+				CacheHit: hit,
+				Elapsed:  elapsed.Milliseconds(),
+			})
+		}(i, opts)
+	}
+	wg.Wait()
+	return results
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/code"
 	"repro/internal/core"
@@ -67,6 +68,17 @@ func DefaultOptions() Options {
 	return Options{Code: "Steane", Prep: PrepHeuristic, Verif: VerifOptimal}
 }
 
+// catalogNames memoizes the catalog's name set: normalized() validates
+// every request — and every cache-key computation — against it, and
+// rebuilding the nine catalog codes each time would dominate cache hits.
+var catalogNames = sync.OnceValue(func() map[string]bool {
+	names := map[string]bool{}
+	for _, c := range code.Catalog() {
+		names[c.Name] = true
+	}
+	return names
+})
+
 // CodeNames returns the catalog code names accepted by Options.Code, sorted.
 func CodeNames() []string {
 	var names []string
@@ -95,7 +107,8 @@ func Codes() []CodeDescriptor {
 }
 
 // normalized validates o and fills in defaults, returning the canonical form
-// used for synthesis and cache keying.
+// used for synthesis and cache keying. Every rejection wraps ErrBadOptions;
+// a bad catalog name additionally wraps ErrUnknownCode.
 func (o Options) normalized() (Options, error) {
 	sources := 0
 	if o.Code != "" {
@@ -111,13 +124,16 @@ func (o Options) normalized() (Options, error) {
 	case sources == 0:
 		o.Code = "Steane"
 	case sources > 1:
-		return o, fmt.Errorf("dftsp: set exactly one of code, surface_distance, hx/hz")
+		return o, badOptions("set exactly one of code, surface_distance, hx/hz")
 	}
 	if (len(o.Hx) > 0) != (len(o.Hz) > 0) {
-		return o, fmt.Errorf("dftsp: custom codes need both hx and hz")
+		return o, badOptions("custom codes need both hx and hz")
 	}
 	if o.SurfaceDistance > 0 && (o.SurfaceDistance < 3 || o.SurfaceDistance%2 == 0) {
-		return o, fmt.Errorf("dftsp: surface distance must be odd and >= 3, got %d", o.SurfaceDistance)
+		return o, badOptions("surface distance must be odd and >= 3, got %d", o.SurfaceDistance)
+	}
+	if o.Code != "" && !catalogNames()[o.Code] {
+		return o, badOptions("%w %q (available: %v)", ErrUnknownCode, o.Code, CodeNames())
 	}
 
 	o.Prep = strings.ToLower(o.Prep)
@@ -126,7 +142,7 @@ func (o Options) normalized() (Options, error) {
 		o.Prep = PrepHeuristic
 	case PrepHeuristic, PrepOptimal:
 	default:
-		return o, fmt.Errorf("dftsp: unknown prep method %q (want %q or %q)", o.Prep, PrepHeuristic, PrepOptimal)
+		return o, badOptions("unknown prep method %q (want %q or %q)", o.Prep, PrepHeuristic, PrepOptimal)
 	}
 	o.Verif = strings.ToLower(o.Verif)
 	switch o.Verif {
@@ -134,7 +150,7 @@ func (o Options) normalized() (Options, error) {
 		o.Verif = VerifOptimal
 	case VerifOptimal, VerifGlobal:
 	default:
-		return o, fmt.Errorf("dftsp: unknown verif method %q (want %q or %q)", o.Verif, VerifOptimal, VerifGlobal)
+		return o, badOptions("unknown verif method %q (want %q or %q)", o.Verif, VerifOptimal, VerifGlobal)
 	}
 	return o, nil
 }
@@ -161,6 +177,8 @@ func (o Options) Key() (string, error) {
 }
 
 // buildCode materializes the selected CSS code. o must be normalized.
+// Malformed custom matrices (bad bit strings, anticommuting checks) are
+// invalid input, not synthesis failures, so they wrap ErrBadOptions.
 func (o Options) buildCode() (*code.CSS, error) {
 	switch {
 	case o.SurfaceDistance > 0:
@@ -168,13 +186,17 @@ func (o Options) buildCode() (*code.CSS, error) {
 	case len(o.Hx) > 0:
 		mx, err := f2.MatFromStrings(o.Hx...)
 		if err != nil {
-			return nil, fmt.Errorf("dftsp: hx: %w", err)
+			return nil, badOptions("hx: %w", err)
 		}
 		mz, err := f2.MatFromStrings(o.Hz...)
 		if err != nil {
-			return nil, fmt.Errorf("dftsp: hz: %w", err)
+			return nil, badOptions("hz: %w", err)
 		}
-		return code.New("custom", mx, mz)
+		cs, err := code.New("custom", mx, mz)
+		if err != nil {
+			return nil, badOptions("%w", err)
+		}
+		return cs, nil
 	default:
 		return code.ByName(o.Code)
 	}

@@ -6,21 +6,30 @@
 //	correction synthesis → FT certification → QASM export → error-rate
 //	estimation
 //
-// Key entry points:
+// Key entry points (the v2 API — context-first and typed-error based):
 //
 //   - Synthesize: build the complete protocol for an Options value;
 //   - Protocol.Certify: the exhaustive single-fault FT certificate;
 //   - Protocol.Estimate: logical error rates (stratified and Monte-Carlo);
 //   - Protocol.WriteQASM: OpenQASM 2.0 export of the static circuit;
 //   - Service: a synthesis server core with an in-memory protocol cache,
-//     request coalescing and a bounded estimation worker pool;
+//     request coalescing, batch jobs and a bounded estimation worker pool;
 //   - Search: CSS code discovery with exact distance certification.
+//
+// Every CPU-heavy entry point takes a context.Context as its first argument
+// and honors cancellation deep in the hot paths: the CDCL SAT solver polls
+// the context in its conflict loop, the Monte-Carlo workers between shot
+// batches, and the stratified estimator between fault enumerations, so a
+// cancelled request stops burning CPU within milliseconds. Failures carry
+// the typed taxonomy of errors.go (ErrBadOptions, ErrUnknownCode,
+// ErrSynthesis, ErrCertification), matchable with errors.Is/As.
 //
 // The command-line binaries under cmd/ (dftsp, table1, fig4, codesearch,
 // server) are thin flag/HTTP wrappers over this package.
 package dftsp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -49,7 +58,13 @@ type Protocol struct {
 // protection, and SAT-synthesized corrections for every verification
 // signature. Synthesis is CPU-heavy (it runs a SAT solver); cache results or
 // use a Service when serving repeated requests.
-func Synthesize(opts Options) (*Protocol, error) {
+//
+// ctx is honored deep inside the synthesis: cancelling it (or letting its
+// deadline pass) aborts the SAT conflict loop promptly, and the returned
+// error matches context.Canceled / context.DeadlineExceeded via errors.Is.
+// Invalid opts wrap ErrBadOptions; genuine synthesis failures wrap
+// ErrSynthesis.
+func Synthesize(ctx context.Context, opts Options) (*Protocol, error) {
 	n, err := opts.normalized()
 	if err != nil {
 		return nil, err
@@ -58,9 +73,9 @@ func Synthesize(opts Options) (*Protocol, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.Build(cs, n.coreConfig())
+	p, err := core.Build(ctx, cs, n.coreConfig())
 	if err != nil {
-		return nil, fmt.Errorf("dftsp: synthesis failed: %w", err)
+		return nil, synthesisError(err)
 	}
 	return &Protocol{Core: p, Options: n}, nil
 }
@@ -102,8 +117,14 @@ func (p *Protocol) Describe() string {
 // Certify runs the exhaustive single-fault FT certificate (Definition 1,
 // t = 1): every possible single fault at every location is enumerated, and
 // each residual error must have stabilizer-reduced weight <= 1 in both
-// sectors. A nil error is a machine-checked proof of strict fault tolerance.
-func (p *Protocol) Certify() error { return sim.ExhaustiveFaultCheck(p.Core) }
+// sectors. A nil error is a machine-checked proof of strict fault tolerance;
+// a failure wraps ErrCertification.
+func (p *Protocol) Certify() error {
+	if err := sim.ExhaustiveFaultCheck(p.Core); err != nil {
+		return fmt.Errorf("%w: %w", ErrCertification, err)
+	}
+	return nil
+}
 
 // FaultLocations returns the number of fault locations on the fault-free
 // path (the N of the stratified estimator).

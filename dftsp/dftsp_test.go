@@ -1,13 +1,18 @@
 package dftsp
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
+var bg = context.Background()
+
 func TestSynthesizeSteaneDefaults(t *testing.T) {
-	p, err := Synthesize(Options{})
+	p, err := Synthesize(bg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +46,7 @@ func TestSynthesizeSteaneDefaults(t *testing.T) {
 func TestSynthesizeCustomCodeMatchesCatalog(t *testing.T) {
 	// The Steane code given explicitly as check matrices.
 	rows := []string{"1100110", "1010101", "0001111"}
-	p, err := Synthesize(Options{Hx: rows, Hz: rows})
+	p, err := Synthesize(bg, Options{Hx: rows, Hz: rows})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +58,9 @@ func TestSynthesizeCustomCodeMatchesCatalog(t *testing.T) {
 	}
 }
 
-func TestOptionsValidation(t *testing.T) {
+func TestOptionsValidationTypedErrors(t *testing.T) {
+	// Every invalid-options path must wrap ErrBadOptions (the acceptance
+	// criterion of the v2 error taxonomy).
 	cases := []Options{
 		{Code: "Steane", SurfaceDistance: 3},       // two sources
 		{Hx: []string{"11"}},                       // hx without hz
@@ -62,11 +69,21 @@ func TestOptionsValidation(t *testing.T) {
 		{Code: "Steane", Verif: "banana"},          // bad verif
 		{Code: "NoSuchCode"},                       // unknown catalog name
 		{Hx: []string{"110"}, Hz: []string{"011"}}, // anticommuting rows
+		{Hx: []string{"1x0"}, Hz: []string{"011"}}, // malformed bit string
 	}
 	for i, o := range cases {
-		if _, err := Synthesize(o); err == nil {
+		_, err := Synthesize(bg, o)
+		if err == nil {
 			t.Errorf("case %d (%+v): expected error", i, o)
+			continue
 		}
+		if !errors.Is(err, ErrBadOptions) {
+			t.Errorf("case %d: error %v does not wrap ErrBadOptions", i, err)
+		}
+	}
+	_, err := Synthesize(bg, Options{Code: "NoSuchCode"})
+	if !errors.Is(err, ErrUnknownCode) {
+		t.Fatalf("unknown code error %v does not wrap ErrUnknownCode", err)
 	}
 }
 
@@ -92,11 +109,11 @@ func TestOptionsKeyCanonicalization(t *testing.T) {
 }
 
 func TestEstimateSteane(t *testing.T) {
-	p, err := Synthesize(Options{})
+	p, err := Synthesize(bg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Estimate(EstimateOptions{
+	res, err := p.Estimate(bg, EstimateOptions{
 		Rates:    []float64{1e-3, 1e-2},
 		MaxOrder: 2,
 		Samples:  2000,
@@ -123,8 +140,51 @@ func TestEstimateSteane(t *testing.T) {
 	if res.Points[1].MC == 0 {
 		t.Fatal("Monte-Carlo cross-check sampled no failures at p=1e-2")
 	}
-	if _, err := p.Estimate(EstimateOptions{Rates: []float64{2}}); err == nil {
-		t.Fatal("rate outside (0,1) accepted")
+	_, err = p.Estimate(bg, EstimateOptions{Rates: []float64{2}})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("rate outside (0,1): err = %v, want ErrBadOptions", err)
+	}
+}
+
+func TestSynthesizeCancelledMidSAT(t *testing.T) {
+	// A deadline far shorter than the Tetrahedral [[15,1,3]] synthesis
+	// (seconds of SAT work) must abort the build from inside the conflict
+	// loop, promptly.
+	ctx, cancel := context.WithTimeout(bg, 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Synthesize(ctx, Options{Code: "Tetrahedral"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v, want < 1s", elapsed)
+	}
+}
+
+func TestEstimateCancelledMidMonteCarlo(t *testing.T) {
+	p, err := Synthesize(bg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = p.Estimate(ctx, EstimateOptions{
+		Rates:    []float64{1e-2},
+		MaxOrder: 2,
+		Samples:  1000,
+		MCShots:  500_000_000, // minutes of sampling if not cancelled
+		Workers:  2,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v, want < 1s", elapsed)
 	}
 }
 
@@ -132,7 +192,7 @@ func TestServiceCachesAndCoalesces(t *testing.T) {
 	svc := NewService(2)
 	opts := Options{Code: "Steane"}
 
-	p1, hit, err := svc.Protocol(opts)
+	p1, hit, err := svc.Protocol(bg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +202,7 @@ func TestServiceCachesAndCoalesces(t *testing.T) {
 
 	// An equivalent (differently spelled) request must hit the cache and
 	// return the identical protocol object.
-	p2, hit, err := svc.Protocol(Options{Code: "Steane", Prep: "HEU"})
+	p2, hit, err := svc.Protocol(bg, Options{Code: "Steane", Prep: "HEU"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +221,7 @@ func TestServiceCachesAndCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, _, err := svc2.Protocol(opts)
+			p, _, err := svc2.Protocol(bg, opts)
 			if err != nil {
 				t.Error(err)
 			}
@@ -178,13 +238,99 @@ func TestServiceCachesAndCoalesces(t *testing.T) {
 	if st.Misses != 1 || st.Entries != 1 {
 		t.Fatalf("stats after coalesced burst: %+v, want 1 miss / 1 entry", st)
 	}
-
-	// Failed synthesis must not poison the cache.
-	if _, _, err := svc.Protocol(Options{Code: "NoSuchCode"}); err == nil {
-		t.Fatal("expected error for unknown code")
+	// Every request is accounted exactly once across the three buckets.
+	if st.Hits+st.Misses+st.Coalesced != 8 {
+		t.Fatalf("stats do not partition the burst: %+v", st)
 	}
-	if n := svc.Stats().Entries; n != 1 {
-		t.Fatalf("failed request left %d entries, want 1", n)
+	if st.Failed != 0 {
+		t.Fatalf("successful burst recorded failures: %+v", st)
+	}
+
+	// Failed synthesis must not poison the cache and must count as failed,
+	// not as a hit.
+	if _, _, err := svc.Protocol(bg, Options{Hx: []string{"110"}, Hz: []string{"011"}}); err == nil {
+		t.Fatal("expected error for anticommuting custom code")
+	}
+	st = svc.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("failed request left %d entries, want 1", st.Entries)
+	}
+	if st.Failed != 1 {
+		t.Fatalf("failed request not counted: %+v", st)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("failed request miscounted as a hit: %+v", st)
+	}
+}
+
+func TestServiceWaiterAbandonKeepsSynthesisAlive(t *testing.T) {
+	// A waiter that joins an in-flight synthesis and cancels must return
+	// immediately with ctx.Err() while the surviving waiter still gets the
+	// protocol: abandoning a coalesced entry must not kill shared work.
+	// Tetrahedral takes seconds to synthesize, so the join below reliably
+	// lands mid-flight.
+	svc := NewService(2)
+	opts := Options{Code: "Tetrahedral"}
+
+	type outcome struct {
+		p   *Protocol
+		err error
+	}
+	survivor := make(chan outcome, 1)
+	go func() {
+		p, _, err := svc.Protocol(bg, opts)
+		survivor <- outcome{p, err}
+	}()
+	// Give the initiator a moment to create the entry, then join and
+	// instantly abandon it.
+	time.Sleep(50 * time.Millisecond)
+	cancelled, cancel := context.WithCancel(bg)
+	cancel()
+	if _, _, err := svc.Protocol(cancelled, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter err = %v, want context.Canceled", err)
+	}
+	got := <-survivor
+	if got.err != nil {
+		t.Fatalf("surviving waiter failed: %v", got.err)
+	}
+	if got.p == nil {
+		t.Fatal("surviving waiter got no protocol")
+	}
+	// The entry completed despite the abandoned waiter: a fresh request is
+	// a plain cache hit.
+	if _, hit, err := svc.Protocol(bg, opts); err != nil || !hit {
+		t.Fatalf("post-abandon request: hit=%v err=%v, want cache hit", hit, err)
+	}
+}
+
+func TestServiceAllWaitersGoneCancelsSynthesis(t *testing.T) {
+	// When the only waiter abandons a slow synthesis, the SAT work is
+	// cancelled and the slot cleared for retry.
+	svc := NewService(2)
+	opts := Options{Code: "Tetrahedral"} // seconds of synthesis
+
+	ctx, cancel := context.WithCancel(bg)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Protocol(ctx, opts)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abandoned synthesis must clear its slot promptly so the key
+	// stays retryable (no permanently-poisoned entries).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if svc.Stats().Entries == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned entry never cleared: %+v", svc.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -192,7 +338,7 @@ func TestServiceEstimate(t *testing.T) {
 	svc := NewService(2)
 	opts := Options{Code: "Steane"}
 	eo := EstimateOptions{Rates: []float64{1e-2}, MaxOrder: 2, Samples: 500}
-	res, hit, err := svc.Estimate(opts, eo)
+	res, hit, err := svc.Estimate(bg, opts, eo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,14 +348,62 @@ func TestServiceEstimate(t *testing.T) {
 	if len(res.Points) != 1 || res.Points[0].PL <= 0 {
 		t.Fatalf("bad estimate result: %+v", res)
 	}
-	if _, hit, _ = svc.Estimate(opts, eo); !hit {
+	if _, hit, _ = svc.Estimate(bg, opts, eo); !hit {
 		t.Fatal("second estimate missed the protocol cache")
+	}
+}
+
+func TestSynthesizeBatch(t *testing.T) {
+	svc := NewService(2)
+	items := []Options{
+		{Code: "Steane"},
+		{Code: "Shor"},
+		{Code: "Steane", Prep: "HEU"}, // coalesces with item 0
+		{Code: "NoSuchCode"},          // fails with ErrBadOptions
+	}
+	var mu sync.Mutex
+	events := map[int][]string{}
+	results := svc.SynthesizeBatch(bg, items, func(ev BatchEvent) {
+		mu.Lock()
+		events[ev.Index] = append(events[ev.Index], ev.Status)
+		mu.Unlock()
+	})
+	if len(results) != len(items) {
+		t.Fatalf("got %d results, want %d", len(results), len(items))
+	}
+	for i := 0; i < 3; i++ {
+		if results[i].Err != nil {
+			t.Fatalf("item %d failed: %v", i, results[i].Err)
+		}
+		if results[i].Protocol == nil {
+			t.Fatalf("item %d has no protocol", i)
+		}
+	}
+	if results[0].Protocol != results[2].Protocol {
+		t.Fatal("identical batch items did not share one synthesis")
+	}
+	if !errors.Is(results[3].Err, ErrBadOptions) {
+		t.Fatalf("item 3 err = %v, want ErrBadOptions", results[3].Err)
+	}
+	for i := range items {
+		evs := events[i]
+		if len(evs) < 3 || evs[0] != BatchQueued || evs[1] != BatchSynthesizing {
+			t.Fatalf("item %d events = %v, want queued, synthesizing, ...", i, evs)
+		}
+		terminal := evs[len(evs)-1]
+		want := BatchDone
+		if i == 3 {
+			want = BatchError
+		}
+		if terminal != want {
+			t.Fatalf("item %d terminal event = %q, want %q", i, terminal, want)
+		}
 	}
 }
 
 func TestSearchRoundTrip(t *testing.T) {
 	// A tiny search that terminates fast: the [[4,2,2]] C4 parameters.
-	fc, err := Search(SearchOptions{N: 4, K: 2, D: 2, SelfDual: true, Seed: 1, MaxTries: 50000})
+	fc, err := Search(bg, SearchOptions{N: 4, K: 2, D: 2, SelfDual: true, Seed: 1, MaxTries: 50000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,8 +414,41 @@ func TestSearchRoundTrip(t *testing.T) {
 	if _, err := (Options{Hx: fc.Hx, Hz: fc.Hz}).Key(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Search(SearchOptions{N: 4, K: 2, D: 2, Mode: "banana"}); err == nil {
-		t.Fatal("unknown search mode accepted")
+	_, err = Search(bg, SearchOptions{N: 4, K: 2, D: 2, Mode: "banana"})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("unknown search mode: err = %v, want ErrBadOptions", err)
+	}
+	// A cancelled search reports the cancellation, not budget exhaustion.
+	cancelled, cancel := context.WithCancel(bg)
+	cancel()
+	_, err = Search(cancelled, SearchOptions{N: 12, K: 2, D: 4, SelfDual: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search err = %v, want context.Canceled", err)
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	grid, err := LogGrid(1e-4, 1e-1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want float64) bool { return got > want*(1-1e-9) && got < want*(1+1e-9) }
+	if len(grid) != 13 || !approx(grid[0], 1e-4) || !approx(grid[12], 1e-1) {
+		t.Fatalf("13-point grid wrong: %v", grid)
+	}
+	// points == 1 is the documented single-point grid {lo}.
+	if one, err := LogGrid(1e-3, 1e-1, 1); err != nil || len(one) != 1 || one[0] != 1e-3 {
+		t.Fatalf("single-point grid = %v, %v; want {1e-3}", one, err)
+	}
+	for name, call := range map[string]func() ([]float64, error){
+		"lo==0":     func() ([]float64, error) { return LogGrid(0, 1e-1, 5) },
+		"lo<0":      func() ([]float64, error) { return LogGrid(-1, 1e-1, 5) },
+		"hi<lo":     func() ([]float64, error) { return LogGrid(1e-1, 1e-4, 5) },
+		"points==0": func() ([]float64, error) { return LogGrid(1e-4, 1e-1, 0) },
+	} {
+		if _, err := call(); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: err = %v, want ErrBadOptions", name, err)
+		}
 	}
 }
 

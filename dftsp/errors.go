@@ -1,0 +1,49 @@
+package dftsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The typed error taxonomy of the v2 API. Every error returned by this
+// package wraps exactly one of these sentinels (or a context error), so
+// callers dispatch with errors.Is instead of string matching:
+//
+//	ErrBadOptions     — the request itself is invalid (unknown method names,
+//	                    conflicting code sources, malformed matrices, rates
+//	                    outside (0,1), bad grids). HTTP servers should map
+//	                    this to 400 Bad Request.
+//	ErrUnknownCode    — the requested catalog code name does not exist.
+//	                    Always also matches ErrBadOptions.
+//	ErrSynthesis      — the options were valid but synthesis (or a code
+//	                    search) could not produce a result. Maps to 422
+//	                    Unprocessable Entity.
+//	ErrCertification  — a synthesized protocol failed the exhaustive
+//	                    single-fault certificate. Maps to 422.
+//
+// Cancellation and timeouts are not part of the taxonomy: they surface as
+// wrapped context.Canceled / context.DeadlineExceeded (map to 503).
+var (
+	ErrBadOptions    = errors.New("dftsp: bad options")
+	ErrUnknownCode   = errors.New("unknown code")
+	ErrSynthesis     = errors.New("dftsp: synthesis failed")
+	ErrCertification = errors.New("dftsp: certification failed")
+)
+
+// badOptions returns an ErrBadOptions-wrapped error with a formatted detail
+// message. Arguments may themselves be errors wrapped with %w.
+func badOptions(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadOptions}, args...)...)
+}
+
+// synthesisError classifies an error bubbling out of the synthesis stack:
+// context cancellation passes through untyped (so errors.Is against
+// context.Canceled / DeadlineExceeded keeps working and servers can
+// distinguish aborted from failed work), everything else is an ErrSynthesis.
+func synthesisError(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("dftsp: synthesis interrupted: %w", err)
+	}
+	return fmt.Errorf("%w: %w", ErrSynthesis, err)
+}

@@ -1,7 +1,7 @@
 package dftsp
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"math/rand"
 
@@ -53,7 +53,8 @@ func (eo EstimateOptions) withDefaults() EstimateOptions {
 		eo.Workers = sim.DefaultWorkers()
 	}
 	if len(eo.Rates) == 0 {
-		eo.Rates = LogGrid(1e-4, 1e-1, 13)
+		// The paper's Fig. 4 grid; the arguments are known-valid constants.
+		eo.Rates, _ = LogGrid(1e-4, 1e-1, 13)
 	}
 	return eo
 }
@@ -79,11 +80,12 @@ type EstimateResult struct {
 }
 
 // Validate reports whether the estimation options are usable, so callers
-// can reject a request before paying for protocol synthesis.
+// can reject a request before paying for protocol synthesis. Rejections
+// wrap ErrBadOptions.
 func (eo EstimateOptions) Validate() error {
 	for _, r := range eo.Rates {
 		if r <= 0 || r >= 1 {
-			return fmt.Errorf("dftsp: physical rate %g outside (0,1)", r)
+			return badOptions("physical rate %g outside (0,1)", r)
 		}
 	}
 	return nil
@@ -93,19 +95,30 @@ func (eo EstimateOptions) Validate() error {
 // circuit-level depolarizing model (E1_1), using the stratified fault-order
 // estimator for the curve and, when MCShots > 0, direct Monte-Carlo sampling
 // fanned over a bounded worker pool as a cross-check.
-func (p *Protocol) Estimate(eo EstimateOptions) (EstimateResult, error) {
+//
+// Cancelling ctx stops the fault enumeration and every Monte-Carlo worker
+// promptly; the returned error then matches context.Canceled /
+// context.DeadlineExceeded via errors.Is.
+func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateResult, error) {
 	eo = eo.withDefaults()
 	if err := eo.Validate(); err != nil {
 		return EstimateResult{}, err
 	}
 	est := sim.NewEstimator(p.Core)
-	fo := est.FaultOrder(eo.MaxOrder, eo.Samples, rand.New(rand.NewSource(eo.Seed)))
+	fo, err := est.FaultOrder(ctx, eo.MaxOrder, eo.Samples, rand.New(rand.NewSource(eo.Seed)))
+	if err != nil {
+		return EstimateResult{}, err
+	}
 	res := EstimateResult{Locations: fo.N, F: fo.F}
 	for i, r := range eo.Rates {
 		pt := RatePoint{P: r, PL: fo.Rate(r)}
 		if eo.MCShots > 0 && r >= eo.MCMinRate {
 			// Offset the seed per point so rates do not share RNG streams.
-			pt.MC = est.DirectMCParallel(r, eo.MCShots, eo.Seed+int64(i+1)*0x51ED270B, eo.Workers)
+			mc, err := est.DirectMCParallel(ctx, r, eo.MCShots, eo.Seed+int64(i+1)*0x51ED270B, eo.Workers)
+			if err != nil {
+				return EstimateResult{}, err
+			}
+			pt.MC = mc
 		}
 		res.Points = append(res.Points, pt)
 	}
@@ -113,15 +126,25 @@ func (p *Protocol) Estimate(eo EstimateOptions) (EstimateResult, error) {
 }
 
 // LogGrid returns points log-spaced rates in [lo, hi] inclusive, the grid
-// shape of the paper's Fig. 4.
-func LogGrid(lo, hi float64, points int) []float64 {
-	if points < 2 {
-		return []float64{lo}
+// shape of the paper's Fig. 4. It requires lo > 0 (the spacing is
+// logarithmic), hi >= lo and points >= 1; violations wrap ErrBadOptions.
+// points == 1 deliberately returns the single-point grid {lo} — hi only
+// shapes the spacing, and with one point there is no spacing to shape.
+func LogGrid(lo, hi float64, points int) ([]float64, error) {
+	switch {
+	case lo <= 0:
+		return nil, badOptions("log grid lower bound %g must be > 0", lo)
+	case hi < lo:
+		return nil, badOptions("log grid upper bound %g below lower bound %g", hi, lo)
+	case points < 1:
+		return nil, badOptions("log grid needs >= 1 points, got %d", points)
+	case points == 1:
+		return []float64{lo}, nil
 	}
 	out := make([]float64, points)
 	for i := range out {
 		f := float64(i) / float64(points-1)
 		out[i] = math.Exp(math.Log(lo) + f*(math.Log(hi)-math.Log(lo)))
 	}
-	return out
+	return out, nil
 }

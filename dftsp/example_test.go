@@ -1,6 +1,7 @@
 package dftsp_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -8,10 +9,11 @@ import (
 )
 
 // ExampleSynthesize runs the full pipeline for the Steane code: synthesis
-// with the paper's defaults, the exhaustive fault-tolerance certificate, and
-// a stratified logical error-rate estimate.
+// with the paper's defaults under a cancellable context, the exhaustive
+// fault-tolerance certificate, and a stratified logical error-rate estimate.
 func ExampleSynthesize() {
-	p, err := dftsp.Synthesize(dftsp.Options{Code: "Steane"})
+	ctx := context.Background()
+	p, err := dftsp.Synthesize(ctx, dftsp.Options{Code: "Steane"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -22,7 +24,7 @@ func ExampleSynthesize() {
 	}
 	fmt.Printf("FT certificate passed over %d fault locations\n", p.FaultLocations())
 
-	res, err := p.Estimate(dftsp.EstimateOptions{Rates: []float64{1e-3}, MaxOrder: 1})
+	res, err := p.Estimate(ctx, dftsp.EstimateOptions{Rates: []float64{1e-3}, MaxOrder: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,4 +33,21 @@ func ExampleSynthesize() {
 	// Steane [[7,1,3]]: prep 9 CNOTs; layer 1 (X): 1 meas / 3 CNOTs / 0 flags, 1 classes
 	// FT certificate passed over 21 fault locations
 	// single-fault failure probability: 0
+}
+
+// ExampleService_SynthesizeBatch synthesizes several codes as one batch,
+// observing per-item progress events — the exact feed behind the server's
+// POST /batch NDJSON stream.
+func ExampleService_SynthesizeBatch() {
+	svc := dftsp.NewService(2)
+	results := svc.SynthesizeBatch(context.Background(), []dftsp.Options{
+		{Code: "Steane"},
+		{Code: "Shor"},
+	}, nil)
+	for _, r := range results {
+		fmt.Printf("%d: %s %v\n", r.Index, r.Protocol.CodeName(), r.Err == nil)
+	}
+	// Output:
+	// 0: Steane true
+	// 1: Shor true
 }

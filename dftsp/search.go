@@ -1,6 +1,7 @@
 package dftsp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/code"
@@ -54,9 +55,11 @@ type FoundCode struct {
 }
 
 // Search discovers a CSS code with the prescribed parameters using the
-// selected strategy, certifying the distance exactly. It returns an error
-// when the budget is exhausted without a hit.
-func Search(o SearchOptions) (*FoundCode, error) {
+// selected strategy, certifying the distance exactly. It returns an
+// ErrSynthesis-wrapped error when the budget is exhausted without a hit, an
+// ErrBadOptions-wrapped error for an unknown mode, and ctx.Err() (wrapped)
+// when the context is cancelled mid-search.
+func Search(ctx context.Context, o SearchOptions) (*FoundCode, error) {
 	opt := code.SearchOptions{
 		N: o.N, K: o.K, D: o.D, RankX: o.RankX, SelfDual: o.SelfDual,
 		MaxTries: o.MaxTries, Seed: o.Seed, MinStabWeight: o.MinStabWeight,
@@ -64,22 +67,25 @@ func Search(o SearchOptions) (*FoundCode, error) {
 	var c *code.CSS
 	switch o.Mode {
 	case "", SearchRandom:
-		c = code.Search(opt)
+		c = code.Search(ctx, opt)
 	case SearchClimb:
 		if o.SelfDual {
-			c = code.SearchSelfDualClimb(opt)
+			c = code.SearchSelfDualClimb(ctx, opt)
 		} else {
-			c = code.SearchCSSClimb(opt)
+			c = code.SearchCSSClimb(ctx, opt)
 		}
 	case SearchGaugeTesseract:
 		c = code.GaugeFixTesseract(o.Seed, o.D)
 	case SearchShortenTesseract:
 		c = code.ShortenTesseract(o.N, o.K, o.D)
 	default:
-		return nil, fmt.Errorf("dftsp: unknown search mode %q", o.Mode)
+		return nil, badOptions("unknown search mode %q", o.Mode)
 	}
 	if c == nil {
-		return nil, fmt.Errorf("dftsp: no [[%d,%d,%d]] code found within budget", o.N, o.K, o.D)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dftsp: search interrupted: %w", err)
+		}
+		return nil, fmt.Errorf("%w: no [[%d,%d,%d]] code found within budget", ErrSynthesis, o.N, o.K, o.D)
 	}
 	fc := &FoundCode{Params: c.Params(), DX: c.DistanceX(), DZ: c.DistanceZ()}
 	for i := 0; i < c.Hx.Rows(); i++ {

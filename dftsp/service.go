@@ -1,6 +1,8 @@
 package dftsp
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -12,38 +14,54 @@ import (
 // Options key, coalesces concurrent identical requests so each distinct
 // protocol is synthesized exactly once, and bounds the number of concurrent
 // estimation jobs so Monte-Carlo fan-out never oversubscribes the CPUs.
+//
+// Cancellation semantics: every request carries a context. A request that
+// joins an in-flight synthesis and then abandons it (context cancelled)
+// returns immediately without killing the synthesis other waiters still
+// depend on; only when the *last* waiter of an entry walks away is the
+// underlying SAT work cancelled and the slot cleared.
 type Service struct {
 	workers int // per-job Monte-Carlo worker count
 
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[string]*cacheEntry
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	failed    uint64
 
-	estSem chan struct{} // bounds concurrent estimation jobs
+	estSem   chan struct{} // bounds concurrent estimation jobs
+	batchSem chan struct{} // bounds concurrent batch synthesis items
 }
 
 // cacheEntry is one cache slot. ready is closed when the synthesis that
 // populated the slot finished; waiters block on it instead of re-running
-// the SAT solver.
+// the SAT solver. waiters counts the requests currently blocked on ready;
+// cancel aborts the synthesis and is invoked when waiters drops to zero
+// before completion.
 type cacheEntry struct {
-	ready chan struct{}
-	p     *Protocol
-	err   error
+	ready   chan struct{}
+	p       *Protocol
+	err     error
+	waiters int // guarded by Service.mu
+	cancel  context.CancelFunc
 }
 
 // ServiceStats is a snapshot of the service's cache counters.
 type ServiceStats struct {
-	Entries int    `json:"entries"` // cached protocols
-	Hits    uint64 `json:"hits"`    // requests served from cache (incl. coalesced)
-	Misses  uint64 `json:"misses"`  // requests that ran synthesis
-	Workers int    `json:"workers"` // Monte-Carlo workers per estimation job
+	Entries   int    `json:"entries"`   // cached protocols
+	Hits      uint64 `json:"hits"`      // served from a completed cache entry
+	Misses    uint64 `json:"misses"`    // requests that initiated a synthesis
+	Coalesced uint64 `json:"coalesced"` // requests that joined an in-flight synthesis
+	Failed    uint64 `json:"failed"`    // requests whose synthesis (own or awaited) failed
+	Workers   int    `json:"workers"`   // Monte-Carlo workers per estimation job
 }
 
 // NewService returns a service whose estimation jobs each use the given
 // Monte-Carlo worker count; workers <= 0 selects sim.DefaultWorkers(). The
 // number of concurrent estimation jobs is bounded so that jobs × workers
-// stays near the CPU count (always allowing at least one job).
+// stays near the CPU count (always allowing at least one job). Batch
+// synthesis items run at most NumCPU at a time.
 func NewService(workers int) *Service {
 	if workers <= 0 {
 		workers = sim.DefaultWorkers()
@@ -53,58 +71,135 @@ func NewService(workers int) *Service {
 		jobs = 1
 	}
 	return &Service{
-		workers: workers,
-		entries: map[string]*cacheEntry{},
-		estSem:  make(chan struct{}, jobs),
+		workers:  workers,
+		entries:  map[string]*cacheEntry{},
+		estSem:   make(chan struct{}, jobs),
+		batchSem: make(chan struct{}, runtime.NumCPU()),
 	}
 }
 
 // Protocol returns the synthesized protocol for opts, serving it from the
 // cache when an identical request (same canonical key) was already
-// synthesized. The second return reports whether this was a cache hit.
-// Concurrent identical requests are coalesced: only the first runs the SAT
-// solver, the rest wait for its result. Failed syntheses are not cached, so
-// transient failures can be retried.
-func (s *Service) Protocol(opts Options) (*Protocol, bool, error) {
+// synthesized. The second return reports whether the protocol came from the
+// cache (including joining an in-flight synthesis) rather than a synthesis
+// this call initiated. Concurrent identical requests are coalesced: only
+// the first runs the SAT solver, the rest wait for its result. Failed
+// syntheses are not cached, so transient failures can be retried.
+//
+// Cancelling ctx makes this call return ctx.Err() immediately; the
+// underlying synthesis keeps running for the benefit of other waiters and
+// is aborted only when no waiter remains.
+func (s *Service) Protocol(ctx context.Context, opts Options) (*Protocol, bool, error) {
 	key, err := opts.Key()
 	if err != nil {
 		return nil, false, err
 	}
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
-		s.hits++
+		select {
+		case <-e.ready:
+			// Completed entry: a plain cache hit. Failed entries are
+			// removed under mu before ready observers can see them here,
+			// so a completed entry always holds a protocol.
+			s.hits++
+			s.mu.Unlock()
+			return e.p, true, e.err
+		default:
+		}
+		e.waiters++
+		s.coalesced++
 		s.mu.Unlock()
-		<-e.ready
-		return e.p, true, e.err
+		return s.await(ctx, key, e, true)
 	}
-	e := &cacheEntry{ready: make(chan struct{})}
+
+	e := &cacheEntry{ready: make(chan struct{}), waiters: 1}
+	synthCtx, cancel := context.WithCancel(context.Background())
+	e.cancel = cancel
 	s.entries[key] = e
 	s.misses++
 	s.mu.Unlock()
 
-	// Release waiters and clear failed slots even if synthesis panics;
-	// otherwise the key would block every future request forever.
-	defer func() {
-		close(e.ready)
-		if e.err != nil || e.p == nil {
-			s.mu.Lock()
-			delete(s.entries, key)
-			s.mu.Unlock()
-		}
+	go s.synthesize(synthCtx, key, e, opts)
+	return s.await(ctx, key, e, false)
+}
+
+// synthesize runs the synthesis backing a cache entry and publishes the
+// result. It runs detached from any single request context: synthCtx is
+// cancelled only when every waiter has abandoned the entry. A panic deep
+// in the synthesis stack is converted into an ErrSynthesis so one poisoned
+// request cannot take the server down or hang the entry's waiters.
+func (s *Service) synthesize(synthCtx context.Context, key string, e *cacheEntry, opts Options) {
+	var p *Protocol
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p, err = nil, fmt.Errorf("%w: synthesis panicked: %v", ErrSynthesis, r)
+			}
+		}()
+		p, err = Synthesize(synthCtx, opts)
 	}()
-	e.p, e.err = Synthesize(opts)
-	return e.p, false, e.err
+	s.mu.Lock()
+	e.p, e.err = p, err
+	if err != nil || p == nil {
+		// Do not cache failures (incl. cancellations): the key must stay
+		// retryable. Remove before closing ready so no future request can
+		// observe a completed-but-failed entry — but only if the slot still
+		// belongs to this entry (an abandoned entry may already have been
+		// evicted and replaced by a fresh synthesis).
+		if s.entries[key] == e {
+			delete(s.entries, key)
+		}
+	}
+	close(e.ready)
+	s.mu.Unlock()
+	e.cancel() // release the synthesis context's resources
+}
+
+// await blocks until the entry completes or ctx is cancelled. hit reports
+// whether the caller joined existing work rather than initiating it.
+func (s *Service) await(ctx context.Context, key string, e *cacheEntry, hit bool) (*Protocol, bool, error) {
+	select {
+	case <-e.ready:
+		s.mu.Lock()
+		e.waiters--
+		if e.err != nil {
+			s.failed++
+		}
+		s.mu.Unlock()
+		return e.p, hit, e.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		e.waiters--
+		if e.waiters == 0 {
+			select {
+			case <-e.ready:
+				// Already finished; nothing to cancel.
+			default:
+				// Last waiter walks away: abort the SAT work and evict the
+				// slot immediately, so a request arriving before the solver
+				// observes the cancellation starts a fresh synthesis
+				// instead of joining a doomed entry.
+				e.cancel()
+				if s.entries[key] == e {
+					delete(s.entries, key)
+				}
+			}
+		}
+		s.mu.Unlock()
+		return nil, false, ctx.Err()
+	}
 }
 
 // Estimate synthesizes (or fetches) the protocol for opts and estimates its
 // logical error rate. The bool reports whether the protocol came from the
 // cache.
-func (s *Service) Estimate(opts Options, eo EstimateOptions) (EstimateResult, bool, error) {
-	p, hit, err := s.Protocol(opts)
+func (s *Service) Estimate(ctx context.Context, opts Options, eo EstimateOptions) (EstimateResult, bool, error) {
+	p, hit, err := s.Protocol(ctx, opts)
 	if err != nil {
 		return EstimateResult{}, hit, err
 	}
-	res, err := s.EstimateProtocol(p, eo)
+	res, err := s.EstimateProtocol(ctx, p, eo)
 	return res, hit, err
 }
 
@@ -112,14 +207,19 @@ func (s *Service) Estimate(opts Options, eo EstimateOptions) (EstimateResult, bo
 // the job under the service's bounded worker pool: at most jobs × workers
 // sampling goroutines machine-wide, however many requests are in flight.
 // Request-supplied worker counts are clamped to the service's per-job bound
-// so no single request can oversubscribe the machine.
-func (s *Service) EstimateProtocol(p *Protocol, eo EstimateOptions) (EstimateResult, error) {
+// so no single request can oversubscribe the machine. A request cancelled
+// while queued for a pool slot returns ctx.Err() without ever sampling.
+func (s *Service) EstimateProtocol(ctx context.Context, p *Protocol, eo EstimateOptions) (EstimateResult, error) {
 	if eo.Workers <= 0 || eo.Workers > s.workers {
 		eo.Workers = s.workers
 	}
-	s.estSem <- struct{}{}
+	select {
+	case s.estSem <- struct{}{}:
+	case <-ctx.Done():
+		return EstimateResult{}, ctx.Err()
+	}
 	defer func() { <-s.estSem }()
-	return p.Estimate(eo)
+	return p.Estimate(ctx, eo)
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -127,9 +227,11 @@ func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ServiceStats{
-		Entries: len(s.entries),
-		Hits:    s.hits,
-		Misses:  s.misses,
-		Workers: s.workers,
+		Entries:   len(s.entries),
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Coalesced: s.coalesced,
+		Failed:    s.failed,
+		Workers:   s.workers,
 	}
 }

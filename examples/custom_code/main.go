@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,8 @@ func main() {
 	// Find a [[10,1,3]] CSS code nobody hand-designed. The search certifies
 	// the distance exactly before returning.
 	fmt.Println("searching for a [[10,1,3]] CSS code...")
-	cs := code.Search(code.SearchOptions{
+	ctx := context.Background()
+	cs := code.Search(ctx, code.SearchOptions{
 		N: 10, K: 1, D: 3, RankX: 4,
 		MinStabWeight: 2, Seed: 12345, MaxTries: 2_000_000,
 	})
@@ -30,7 +32,7 @@ func main() {
 	fmt.Printf("found %s\nHx:\n%v\nHz:\n%v\n", cs.Params(), cs.Hx, cs.Hz)
 
 	// Synthesize and certify its deterministic FT preparation.
-	proto, err := core.Build(cs, core.Config{})
+	proto, err := core.Build(ctx, cs, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	proto, err := core.Build(cs, core.Config{})
+	proto, err := core.Build(context.Background(), cs, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

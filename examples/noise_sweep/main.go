@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,13 +25,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	proto, err := core.Build(cs, core.Config{})
+	ctx := context.Background()
+	proto, err := core.Build(ctx, cs, core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(2024))
 	est := sim.NewEstimator(proto)
-	res := est.FaultOrder(3, 30000, rng)
+	res, err := est.FaultOrder(ctx, 3, 30000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s: N=%d locations, f1=%g, f2=%.4f, f3=%.4f\n",
 		cs.Name, res.N, res.F[1], res.F[2], res.F[3])
 	fmt.Printf("%-10s %-12s %-12s %-10s\n", "p", "pL(strat)", "pL(MC)", "pL/p^2")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,7 +23,8 @@ func main() {
 
 	// 2. Synthesize the full deterministic protocol of the paper: non-FT
 	//    preparation, SAT-optimal verification, SAT-optimal corrections.
-	proto, err := core.Build(steane, core.Config{
+	ctx := context.Background()
+	proto, err := core.Build(ctx, steane, core.Config{
 		Prep:  core.PrepOptimal,  // minimum-CNOT encoder (8 CNOTs)
 		Verif: core.VerifOptimal, // minimal verification, then corrections
 	})
@@ -41,7 +43,10 @@ func main() {
 
 	// 4. Estimate the logical error rate curve (Fig. 4 of the paper).
 	est := sim.NewEstimator(proto)
-	res := est.FaultOrder(3, 20000, rand.New(rand.NewSource(1)))
+	res, err := est.FaultOrder(ctx, 3, 20000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("conditional failure rates: f1=%g (FT!), f2=%.3f, f3=%.3f\n",
 		res.F[1], res.F[2], res.F[3])
 	for _, p := range []float64{1e-4, 1e-3, 1e-2} {

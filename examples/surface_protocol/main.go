@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,7 +34,8 @@ func main() {
 	}
 
 	// Synthesize the deterministic FT protocol.
-	proto, err := core.Build(cs, core.Config{Verif: core.VerifGlobal})
+	ctx := context.Background()
+	proto, err := core.Build(ctx, cs, core.Config{Verif: core.VerifGlobal})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,10 @@ func main() {
 	// Quantify the gain: conditional failure given one fault, bare vs
 	// protected (the protocol must reach exactly zero).
 	est := sim.NewEstimator(proto)
-	res := est.FaultOrder(2, 20000, rand.New(rand.NewSource(7)))
+	res, err := est.FaultOrder(ctx, 2, 20000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("deterministic protocol: f1 = %g, f2 = %.3f, N = %d\n",
 		res.F[1], res.F[2], res.N)
 

@@ -5,7 +5,11 @@
 // (verification and correction circuit synthesis).
 package cnf
 
-import "repro/internal/sat"
+import (
+	"context"
+
+	"repro/internal/sat"
+)
 
 // Builder accumulates a CNF formula over a sat.Solver. The zero value is not
 // usable; create builders with NewBuilder.
@@ -296,6 +300,10 @@ func (b *Builder) ExactlyK(lits []sat.Lit, k int) {
 
 // Solve decides the accumulated formula.
 func (b *Builder) Solve() (bool, error) { return b.S.Solve() }
+
+// SolveContext decides the accumulated formula under a context: the solver
+// aborts promptly with ctx.Err() when ctx is cancelled or times out.
+func (b *Builder) SolveContext(ctx context.Context) (bool, error) { return b.S.SolveContext(ctx) }
 
 // Val reads the value of a literal in the last model.
 func (b *Builder) Val(l sat.Lit) bool {

@@ -1,6 +1,7 @@
 package code
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/f2"
@@ -179,7 +180,7 @@ func TestSearchFindsSmallCode(t *testing.T) {
 	// The search machinery should find a [[5,1,2]]-or-better CSS code
 	// quickly; use [[4,1,2]]-style parameters that exist ([[4,2,2]] with
 	// k=2, d=2).
-	c := Search(SearchOptions{N: 4, K: 2, D: 2, RankX: 1, MaxTries: 200000, Seed: 1})
+	c := Search(context.Background(), SearchOptions{N: 4, K: 2, D: 2, RankX: 1, MaxTries: 200000, Seed: 1})
 	if c == nil {
 		t.Fatal("search failed to find [[4,2,2]]")
 	}

@@ -10,6 +10,7 @@ package code
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/f2"
 )
@@ -26,7 +27,8 @@ type CSS struct {
 	Lx *f2.Mat // X-type logical operator representatives, K rows
 	Lz *f2.Mat // Z-type logical operator representatives, K rows
 
-	dist int // cached distance; 0 if not yet computed
+	distOnce sync.Once
+	dist     int // cached distance, computed once under distOnce
 }
 
 // New validates the check matrices, reduces them to full rank and computes
@@ -102,9 +104,11 @@ func (c *CSS) DistanceX() int {
 	return minLogicalWeight(c.Lx, c.Hx)
 }
 
-// Distance returns the code distance d = min(dX, dZ). The result is cached.
+// Distance returns the code distance d = min(dX, dZ). The result is cached;
+// the once-guard makes concurrent callers (e.g. batch items sharing one
+// cached protocol) race-free.
 func (c *CSS) Distance() int {
-	if c.dist == 0 {
+	c.distOnce.Do(func() {
 		dz := c.DistanceZ()
 		dx := c.DistanceX()
 		if dx < dz {
@@ -112,7 +116,7 @@ func (c *CSS) Distance() int {
 		} else {
 			c.dist = dz
 		}
-	}
+	})
 	return c.dist
 }
 
@@ -164,7 +168,10 @@ func (c *CSS) XStabilizerGroup() *f2.Mat {
 // Hadamard, the preparation of |+...+>_L for the original code; this is the
 // standard X↔Z mirror trick.
 func (c *CSS) Dual() *CSS {
-	d := &CSS{
+	// The distance cache is deliberately not carried over: reading c.dist
+	// here would race with a concurrent c.Distance(), and the dual's own
+	// once-guard would ignore a pre-seeded value anyway.
+	return &CSS{
 		Name: c.Name + "-dual",
 		N:    c.N,
 		K:    c.K,
@@ -172,9 +179,7 @@ func (c *CSS) Dual() *CSS {
 		Hz:   c.Hx.Clone(),
 		Lx:   c.Lz.Clone(),
 		Lz:   c.Lx.Clone(),
-		dist: c.dist,
 	}
-	return d
 }
 
 // String returns a short description.

@@ -1,6 +1,7 @@
 package code
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -31,12 +32,18 @@ type SearchOptions struct {
 // (Carbon) and [[16,2,4]] rows were produced: the exact generator matrices of
 // those codes are not printed in the paper, so parameter-equivalent codes
 // are discovered here and embedded in the catalog (see DESIGN.md).
-func Search(opt SearchOptions) *CSS {
+//
+// Cancelling ctx stops the search early; like budget exhaustion, this
+// returns nil (the caller distinguishes the two via ctx.Err()).
+func Search(ctx context.Context, opt SearchOptions) *CSS {
 	if opt.MaxTries == 0 {
 		opt.MaxTries = 2_000_000
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	for try := 0; try < opt.MaxTries; try++ {
+		if try%256 == 0 && ctx.Err() != nil {
+			return nil
+		}
 		var c *CSS
 		if opt.SelfDual {
 			c = trySelfDual(rng, opt)
@@ -182,7 +189,7 @@ func randomFullRank(rng *rand.Rand, n, r int) *f2.Mat {
 // resampling moves are accepted when they do not increase the cost. Plain
 // random sampling is hopeless for [[12,2,4]] because almost every 7-dim dual
 // contains weight-2 or weight-3 words; the climb removes them greedily.
-func SearchSelfDualClimb(opt SearchOptions) *CSS {
+func SearchSelfDualClimb(ctx context.Context, opt SearchOptions) *CSS {
 	if opt.MaxTries == 0 {
 		opt.MaxTries = 200_000
 	}
@@ -221,6 +228,9 @@ func SearchSelfDualClimb(opt SearchOptions) *CSS {
 	}
 
 	for tries := 0; tries < opt.MaxTries; {
+		if ctx.Err() != nil {
+			return nil
+		}
 		g := randomSelfOrthogonal(rng, opt.N, r, ones)
 		if g == nil {
 			tries++
@@ -229,6 +239,9 @@ func SearchSelfDualClimb(opt SearchOptions) *CSS {
 		cur := cost(g)
 		stale := 0
 		for cur > 0 && stale < 3000 && tries < opt.MaxTries {
+			if tries%256 == 0 && ctx.Err() != nil {
+				return nil
+			}
 			tries++
 			i := rng.Intn(r)
 			// Constraint space for the replacement row: orthogonal to
@@ -282,7 +295,7 @@ func SearchSelfDualClimb(opt SearchOptions) *CSS {
 // Hx·Hzᵀ = 0: the cost counts low-weight words of ker(Hz) outside span(Hx)
 // and of ker(Hx) outside span(Hz); moves resample one row of one matrix
 // from the kernel of the other.
-func SearchCSSClimb(opt SearchOptions) *CSS {
+func SearchCSSClimb(ctx context.Context, opt SearchOptions) *CSS {
 	if opt.MaxTries == 0 {
 		opt.MaxTries = 200_000
 	}
@@ -324,6 +337,9 @@ func SearchCSSClimb(opt SearchOptions) *CSS {
 	}
 
 	for tries := 0; tries < opt.MaxTries; {
+		if ctx.Err() != nil {
+			return nil
+		}
 		hx := randomFullRank(rng, opt.N, rx)
 		if hx == nil {
 			tries++
@@ -355,6 +371,9 @@ func SearchCSSClimb(opt SearchOptions) *CSS {
 		cur := cost(hx, hz)
 		stale := 0
 		for cur > 0 && stale < 4000 && tries < opt.MaxTries {
+			if tries%256 == 0 && ctx.Err() != nil {
+				return nil
+			}
 			tries++
 			// Resample one row of one side from the other side's kernel.
 			if rng.Intn(2) == 0 {

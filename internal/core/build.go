@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
@@ -12,18 +13,21 @@ import (
 )
 
 // Build synthesizes the full deterministic fault-tolerant preparation
-// protocol for |0...0>_L of cs under the given configuration.
-func Build(cs *code.CSS, cfg Config) (*Protocol, error) {
-	prepC, err := buildPrep(cs, cfg)
+// protocol for |0...0>_L of cs under the given configuration. ctx is
+// threaded through every synthesis stage (preparation search, verification
+// and correction SAT solving); cancelling it aborts the build promptly with
+// an error matching ctx.Err() via errors.Is.
+func Build(ctx context.Context, cs *code.CSS, cfg Config) (*Protocol, error) {
+	prepC, err := buildPrep(ctx, cs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return BuildFromPrep(cs, prepC, cfg)
+	return BuildFromPrep(ctx, cs, prepC, cfg)
 }
 
 // BuildFromPrep synthesizes the protocol for a caller-supplied preparation
 // circuit (which must prepare |0...0>_L exactly; see prep.Verify).
-func BuildFromPrep(cs *code.CSS, prepC *circuit.Circuit, cfg Config) (*Protocol, error) {
+func BuildFromPrep(ctx context.Context, cs *code.CSS, prepC *circuit.Circuit, cfg Config) (*Protocol, error) {
 	if err := prep.Verify(cs, prepC); err != nil {
 		return nil, err
 	}
@@ -31,31 +35,31 @@ func BuildFromPrep(cs *code.CSS, prepC *circuit.Circuit, cfg Config) (*Protocol,
 	ezD := verify.DangerousErrors(cs, prepC, code.ErrZ)
 
 	if cfg.Verif == VerifGlobal {
-		return buildGlobal(cs, prepC, exD, ezD, cfg)
+		return buildGlobal(ctx, cs, prepC, exD, ezD, cfg)
 	}
 
 	var verif1 []f2.Vec
 	if len(exD) > 0 {
-		res, err := verify.Synthesize(cs.DetectionGroup(code.ErrX), exD)
+		res, err := verify.Synthesize(ctx, cs.DetectionGroup(code.ErrX), exD)
 		if err != nil {
 			return nil, err
 		}
 		verif1 = res.Stabs
 	}
-	return assemble(cs, prepC, verif1, len(ezD) > 0, nil, cfg)
+	return assemble(ctx, cs, prepC, verif1, len(ezD) > 0, nil, cfg)
 }
 
 // buildGlobal explores all optimal layer-1 verifications (and for each, all
 // optimal layer-2 verifications), returning the protocol with the lowest
 // average correction cost, tie-broken by total verification cost.
-func buildGlobal(cs *code.CSS, prepC *circuit.Circuit, exD, ezD []f2.Vec, cfg Config) (*Protocol, error) {
+func buildGlobal(ctx context.Context, cs *code.CSS, prepC *circuit.Circuit, exD, ezD []f2.Vec, cfg Config) (*Protocol, error) {
 	limit := cfg.GlobalLimit
 	if limit <= 0 {
 		limit = 16
 	}
 	cands := [][]f2.Vec{nil}
 	if len(exD) > 0 {
-		results, err := verify.EnumerateOptimal(cs.DetectionGroup(code.ErrX), exD, limit)
+		results, err := verify.EnumerateOptimal(ctx, cs.DetectionGroup(code.ErrX), exD, limit)
 		if err != nil {
 			return nil, err
 		}
@@ -68,8 +72,14 @@ func buildGlobal(cs *code.CSS, prepC *circuit.Circuit, exD, ezD []f2.Vec, cfg Co
 	var bestCost float64
 	var firstErr error
 	for _, v1 := range cands {
-		p, err := assemble(cs, prepC, v1, len(ezD) > 0, &globalOpts{limit: limit}, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p, err := assemble(ctx, cs, prepC, v1, len(ezD) > 0, &globalOpts{limit: limit}, cfg)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -91,9 +101,13 @@ func buildGlobal(cs *code.CSS, prepC *circuit.Circuit, exD, ezD []f2.Vec, cfg Co
 
 type globalOpts struct{ limit int }
 
-func buildPrep(cs *code.CSS, cfg Config) (*circuit.Circuit, error) {
+func buildPrep(ctx context.Context, cs *code.CSS, cfg Config) (*circuit.Circuit, error) {
 	if cfg.Prep == PrepOptimal {
-		if c := prep.Optimal(cs, cfg.PrepBudget); c != nil {
+		c, err := prep.Optimal(ctx, cs, cfg.PrepBudget)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
 			return c, nil
 		}
 		// Budget exhausted: fall back, mirroring the paper's use of the
@@ -106,7 +120,7 @@ func buildPrep(cs *code.CSS, cfg Config) (*circuit.Circuit, error) {
 // wantLayer2 forces a Z layer when prep has dangerous Z errors; a Z layer is
 // also created when layer-1 hook deferral requires one. When g is non-nil,
 // the layer-2 verification is globally optimized as well.
-func assemble(cs *code.CSS, prepC *circuit.Circuit, verif1 []f2.Vec, wantLayer2 bool, g *globalOpts, cfg Config) (*Protocol, error) {
+func assemble(ctx context.Context, cs *code.CSS, prepC *circuit.Circuit, verif1 []f2.Vec, wantLayer2 bool, g *globalOpts, cfg Config) (*Protocol, error) {
 	p := &Protocol{Code: cs, Prep: prepC}
 
 	// ---- Layer 1: verify X errors with Z-type measurements. ----
@@ -152,7 +166,7 @@ func assemble(cs *code.CSS, prepC *circuit.Circuit, verif1 []f2.Vec, wantLayer2 
 	if len(e2) > 0 {
 		var verif2Cands [][]f2.Vec
 		if g != nil {
-			results, err := verify.EnumerateOptimal(cs.DetectionGroup(code.ErrZ), e2, g.limit)
+			results, err := verify.EnumerateOptimal(ctx, cs.DetectionGroup(code.ErrZ), e2, g.limit)
 			if err != nil {
 				return nil, err
 			}
@@ -160,7 +174,7 @@ func assemble(cs *code.CSS, prepC *circuit.Circuit, verif1 []f2.Vec, wantLayer2 
 				verif2Cands = append(verif2Cands, r.Stabs)
 			}
 		} else {
-			res, err := verify.Synthesize(cs.DetectionGroup(code.ErrZ), e2)
+			res, err := verify.Synthesize(ctx, cs.DetectionGroup(code.ErrZ), e2)
 			if err != nil {
 				return nil, err
 			}
@@ -170,8 +184,14 @@ func assemble(cs *code.CSS, prepC *circuit.Circuit, verif1 []f2.Vec, wantLayer2 
 		var bestCost float64
 		var firstErr error
 		for _, v2 := range verif2Cands {
-			cand, err := finishTwoLayer(cs, prepC, layer1, v2, cfg)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cand, err := finishTwoLayer(ctx, cs, prepC, layer1, v2, cfg)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, err
+				}
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -189,7 +209,7 @@ func assemble(cs *code.CSS, prepC *circuit.Circuit, verif1 []f2.Vec, wantLayer2 
 	}
 
 	// Single-layer (or zero-layer) protocol: classify and correct.
-	if err := buildCorrections(cs, cl1, p.Layers); err != nil {
+	if err := buildCorrections(ctx, cs, cl1, p.Layers); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -197,7 +217,7 @@ func assemble(cs *code.CSS, prepC *circuit.Circuit, verif1 []f2.Vec, wantLayer2 
 
 // finishTwoLayer builds the complete protocol for a fixed layer-2
 // verification choice. layer1 may be nil.
-func finishTwoLayer(cs *code.CSS, prepC *circuit.Circuit, layer1 *Layer, verif2 []f2.Vec, cfg Config) (*Protocol, error) {
+func finishTwoLayer(ctx context.Context, cs *code.CSS, prepC *circuit.Circuit, layer1 *Layer, verif2 []f2.Vec, cfg Config) (*Protocol, error) {
 	layer2 := &Layer{Detects: code.ErrZ, Classes: map[string]*ClassCorrection{}}
 	for _, s := range verif2 {
 		m := Measurement{Stab: s.Clone(), Kind: code.ErrX}
@@ -219,7 +239,7 @@ func finishTwoLayer(cs *code.CSS, prepC *circuit.Circuit, layer1 *Layer, verif2 
 	meas = append(meas, layer2.Verif)
 
 	cl := classify(cs, prepC, meas)
-	if err := buildCorrections(cs, cl, p.Layers); err != nil {
+	if err := buildCorrections(ctx, cs, cl, p.Layers); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -302,7 +322,7 @@ func chooseOrder(cs *code.CSS, measType code.ErrType, stab f2.Vec) ([]int, int) 
 // layer), and synthesis cost dominates the build.
 type corrCache map[string]*correct.Block
 
-func (cc corrCache) synthesize(cs *code.CSS, kind code.ErrType, errs []f2.Vec) (*correct.Block, error) {
+func (cc corrCache) synthesize(ctx context.Context, cs *code.CSS, kind code.ErrType, errs []f2.Vec) (*correct.Block, error) {
 	key := kind.String()
 	for _, e := range errs {
 		key += "|" + e.String()
@@ -310,7 +330,7 @@ func (cc corrCache) synthesize(cs *code.CSS, kind code.ErrType, errs []f2.Vec) (
 	if blk, ok := cc[key]; ok {
 		return blk, nil
 	}
-	blk, err := correct.Synthesize(cs.DetectionGroup(kind), cs.ReductionGroup(kind), errs, correct.Options{})
+	blk, err := correct.Synthesize(ctx, cs.DetectionGroup(kind), cs.ReductionGroup(kind), errs, correct.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +346,7 @@ func (cc corrCache) synthesize(cs *code.CSS, kind code.ErrType, errs []f2.Vec) (
 // buildCorrections synthesizes all correction blocks from the classified
 // faults and attaches them to the layers. It also asserts the silent-case
 // safety condition.
-func buildCorrections(cs *code.CSS, cl *classification, layers []*Layer) error {
+func buildCorrections(ctx context.Context, cs *code.CSS, cl *classification, layers []*Layer) error {
 	cache := corrCache{}
 	// Silent faults: both sectors must already be benign.
 	for _, ft := range cl.faults {
@@ -377,16 +397,19 @@ func buildCorrections(cs *code.CSS, cl *classification, layers []*Layer) error {
 			}
 		}
 		for key, reps := range classErrs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			sig := classSig[key]
 			cc := &ClassCorrection{Sig: sig}
 			prim := vecsOf(reps)
-			blk, err := cache.synthesize(cs, layer.Detects, prim)
+			blk, err := cache.synthesize(ctx, cs, layer.Detects, prim)
 			if err != nil {
 				return fmt.Errorf("core: layer %d class %s primary: %w", li+1, key, err)
 			}
 			cc.Primary = blk
 			if hooks := vecsOf(classHookErrs[key]); len(hooks) > 0 {
-				hblk, err := cache.synthesize(cs, layer.Detects.Opposite(), hooks)
+				hblk, err := cache.synthesize(ctx, cs, layer.Detects.Opposite(), hooks)
 				if err != nil {
 					return fmt.Errorf("core: layer %d class %s hook: %w", li+1, key, err)
 				}

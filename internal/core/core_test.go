@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 )
 
 func TestSteaneProtocolMatchesTableI(t *testing.T) {
-	p, err := Build(code.Steane(), Config{Prep: PrepHeuristic, Verif: VerifOptimal})
+	p, err := Build(context.Background(), code.Steane(), Config{Prep: PrepHeuristic, Verif: VerifOptimal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestSteaneProtocolMatchesTableI(t *testing.T) {
 }
 
 func TestSteaneOptPrep(t *testing.T) {
-	p, err := Build(code.Steane(), Config{Prep: PrepOptimal, Verif: VerifOptimal})
+	p, err := Build(context.Background(), code.Steane(), Config{Prep: PrepOptimal, Verif: VerifOptimal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestSingleLayerCodes(t *testing.T) {
 	// are stabilizer-equivalent to weight <= 1 (Shor's GHZ blocks,
 	// ReedMuller15's Z-heavy stabilizer group).
 	for _, cs := range []*code.CSS{code.Steane(), code.Shor(), code.Surface3(), code.ReedMuller15(), code.Hamming15()} {
-		p, err := Build(cs, Config{})
+		p, err := Build(context.Background(), cs, Config{})
 		if err != nil {
 			t.Fatalf("%s: %v", cs.Name, err)
 		}
@@ -68,7 +69,7 @@ func TestSingleLayerCodes(t *testing.T) {
 
 func TestTwoLayerCodes(t *testing.T) {
 	for _, cs := range []*code.CSS{code.CSS11(), code.Carbon()} {
-		p, err := Build(cs, Config{})
+		p, err := Build(context.Background(), cs, Config{})
 		if err != nil {
 			t.Fatalf("%s: %v", cs.Name, err)
 		}
@@ -88,7 +89,7 @@ func TestTwoLayerCodes(t *testing.T) {
 }
 
 func TestVerificationMeasuresStateStabilizers(t *testing.T) {
-	p, err := Build(code.CSS11(), Config{})
+	p, err := Build(context.Background(), code.CSS11(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestVerificationMeasuresStateStabilizers(t *testing.T) {
 }
 
 func TestCorrectionBlocksWellFormed(t *testing.T) {
-	p, err := Build(code.Carbon(), Config{})
+	p, err := Build(context.Background(), code.Carbon(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +141,11 @@ func TestCorrectionBlocksWellFormed(t *testing.T) {
 
 func TestGlobalNotWorseThanOpt(t *testing.T) {
 	for _, cs := range []*code.CSS{code.Steane(), code.Shor(), code.Surface3()} {
-		opt, err := Build(cs, Config{Verif: VerifOptimal})
+		opt, err := Build(context.Background(), cs, Config{Verif: VerifOptimal})
 		if err != nil {
 			t.Fatalf("%s opt: %v", cs.Name, err)
 		}
-		glob, err := Build(cs, Config{Verif: VerifGlobal, GlobalLimit: 8})
+		glob, err := Build(context.Background(), cs, Config{Verif: VerifGlobal, GlobalLimit: 8})
 		if err != nil {
 			t.Fatalf("%s global: %v", cs.Name, err)
 		}
@@ -225,7 +226,7 @@ func TestBuildFromPrepRejectsWrongCircuit(t *testing.T) {
 	for q := 0; q < 7; q++ {
 		bad.AppendPrepZ(q) // |0000000> is not |0>_L
 	}
-	if _, err := BuildFromPrep(cs, bad, Config{}); err == nil {
+	if _, err := BuildFromPrep(context.Background(), cs, bad, Config{}); err == nil {
 		t.Fatal("expected rejection of non-encoding circuit")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/code"
@@ -19,7 +20,7 @@ func TestFlatCircuitDeterministicOnTableau(t *testing.T) {
 	for _, cs := range []*code.CSS{code.Steane(), code.Shor(), code.Surface3(), code.CSS11(), code.Carbon()} {
 		cs := cs
 		t.Run(cs.Name, func(t *testing.T) {
-			p, err := Build(cs, Config{})
+			p, err := Build(context.Background(), cs, Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -51,7 +52,7 @@ func TestFlatCircuitDeterministicOnTableau(t *testing.T) {
 // correction-block measurement also stabilizes |0...0>_L, so conditional
 // branches never disturb a clean state.
 func TestCorrectionMeasurementsAreStateStabilizers(t *testing.T) {
-	p, err := Build(code.Carbon(), Config{})
+	p, err := Build(context.Background(), code.Carbon(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

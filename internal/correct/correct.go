@@ -12,6 +12,7 @@
 package correct
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cnf"
@@ -87,7 +88,9 @@ type Options struct {
 //	       weight-≤1 error to a dangerous one). The zero vector should be
 //	       included whenever a signal can fire without a data error
 //	       (measurement faults).
-func Synthesize(det, red *f2.Mat, errs []f2.Vec, opt Options) (*Block, error) {
+//
+// Cancelling ctx aborts the underlying SAT search with ctx.Err().
+func Synthesize(ctx context.Context, det, red *f2.Mat, errs []f2.Vec, opt Options) (*Block, error) {
 	if len(errs) == 0 {
 		return &Block{Recovery: map[string]f2.Vec{}}, nil
 	}
@@ -96,7 +99,7 @@ func Synthesize(det, red *f2.Mat, errs []f2.Vec, opt Options) (*Block, error) {
 		maxU = det.SpanBasis().Rows()
 	}
 	for u := 0; u <= maxU; u++ {
-		blk, err := solveCorrection(det, red, errs, u, -1, opt)
+		blk, err := solveCorrection(ctx, det, red, errs, u, -1, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +114,7 @@ func Synthesize(det, red *f2.Mat, errs []f2.Vec, opt Options) (*Block, error) {
 		lo, hi := u, best.CNOTs()-1
 		for lo <= hi {
 			mid := (lo + hi) / 2
-			cand, err := solveCorrection(det, red, errs, u, mid, opt)
+			cand, err := solveCorrection(ctx, det, red, errs, u, mid, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -136,7 +139,7 @@ func Synthesize(det, red *f2.Mat, errs []f2.Vec, opt Options) (*Block, error) {
 // cell formulation but linear in u. Pairs of errors that cannot share any
 // recovery — exactly those with reduced weight wt_S(e ⊕ e') > 2 — directly
 // require differing syndromes, which prunes the search substantially.
-func solveCorrection(det, red *f2.Mat, errs []f2.Vec, u, v int, opt Options) (*Block, error) {
+func solveCorrection(ctx context.Context, det, red *f2.Mat, errs []f2.Vec, u, v int, opt Options) (*Block, error) {
 	gens := det.SpanBasis()
 	redGens := red.SpanBasis()
 	r := gens.Rows()
@@ -241,7 +244,7 @@ func solveCorrection(det, red *f2.Mat, errs []f2.Vec, u, v int, opt Options) (*B
 		}
 	}
 
-	ok, err := b.Solve()
+	ok, err := b.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package correct
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/code"
@@ -14,7 +15,7 @@ func vec(s string) f2.Vec { return f2.MustFromString(s) }
 func TestEmptyClass(t *testing.T) {
 	det := f2.MustMatFromStrings("1100")
 	red := f2.MustMatFromStrings("0011")
-	blk, err := Synthesize(det, red, nil, Options{})
+	blk, err := Synthesize(context.Background(), det, red, nil, Options{})
 	if err != nil || blk.Ancillas() != 0 {
 		t.Fatalf("empty class should give trivial block: %v %v", blk, err)
 	}
@@ -25,7 +26,7 @@ func TestSingleErrorNeedsNoMeasurement(t *testing.T) {
 	det := f2.MustMatFromStrings("110000", "001100", "000011")
 	red := f2.NewMat(6) // trivial reduction group
 	errs := []f2.Vec{vec("110000")}
-	blk, err := Synthesize(det, red, errs, Options{})
+	blk, err := Synthesize(context.Background(), det, red, errs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestZeroErrorKeepsRecoveryLight(t *testing.T) {
 	det := f2.MustMatFromStrings("110000")
 	red := f2.NewMat(6)
 	errs := []f2.Vec{vec("000000"), vec("110000")}
-	blk, err := Synthesize(det, red, errs, Options{})
+	blk, err := Synthesize(context.Background(), det, red, errs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestDisjointErrorsNeedMeasurement(t *testing.T) {
 	)
 	red := f2.NewMat(6)
 	errs := []f2.Vec{vec("110000"), vec("001100")}
-	blk, err := Synthesize(det, red, errs, Options{})
+	blk, err := Synthesize(context.Background(), det, red, errs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestWeightMinimized(t *testing.T) {
 	)
 	red := f2.NewMat(6)
 	errs := []f2.Vec{vec("110000"), vec("001100")}
-	blk, err := Synthesize(det, red, errs, Options{})
+	blk, err := Synthesize(context.Background(), det, red, errs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestReductionGroupUsed(t *testing.T) {
 	det := f2.MustMatFromStrings("110000")
 	red := f2.MustMatFromStrings("111100")
 	errs := []f2.Vec{vec("111100"), vec("000000")}
-	blk, err := Synthesize(det, red, errs, Options{})
+	blk, err := Synthesize(context.Background(), det, red, errs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestSteaneCorrectionMatchesTable(t *testing.T) {
 	cs := code.Steane()
 	circ := prep.Heuristic(cs)
 	ex := verify.DangerousErrors(cs, circ, code.ErrX)
-	ver, err := verify.Synthesize(cs.DetectionGroup(code.ErrX), ex)
+	ver, err := verify.Synthesize(context.Background(), cs.DetectionGroup(code.ErrX), ex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestSteaneCorrectionMatchesTable(t *testing.T) {
 		seen[rep.Key()] = true
 		class = append(class, rep)
 	}
-	blk, err := Synthesize(cs.DetectionGroup(code.ErrX), cs.ReductionGroup(code.ErrX), class, Options{})
+	blk, err := Synthesize(context.Background(), cs.DetectionGroup(code.ErrX), cs.ReductionGroup(code.ErrX), class, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package prep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -129,16 +130,17 @@ func Heuristic(c *code.CSS) *circuit.Circuit {
 
 // Optimal synthesizes a minimum-CNOT-count preparation circuit by
 // bidirectional BFS over X-stabilizer subspaces. maxStates bounds the total
-// number of visited states per direction; on exhaustion it returns nil
-// (fall back to Heuristic). A maxStates of 0 selects a default budget.
-func Optimal(c *code.CSS, maxStates int) *circuit.Circuit {
+// number of visited states per direction; on exhaustion it returns a nil
+// circuit and nil error (fall back to Heuristic). A maxStates of 0 selects a
+// default budget. Cancelling ctx aborts the search with ctx.Err().
+func Optimal(ctx context.Context, c *code.CSS, maxStates int) (*circuit.Circuit, error) {
 	if maxStates == 0 {
 		maxStates = 400_000
 	}
 	n := c.N
 	rx := c.Hx.Rows()
 	if rx == 0 {
-		return circuit.New(n)
+		return circuit.New(n), nil
 	}
 
 	type edge struct {
@@ -184,7 +186,7 @@ func Optimal(c *code.CSS, maxStates int) *circuit.Circuit {
 
 	if _, ok := fwd[targetKey]; ok {
 		// Target needs no CNOTs at all.
-		return assemble(c, nil, fwdMat[targetKey])
+		return assemble(c, nil, fwdMat[targetKey]), nil
 	}
 
 	// Bidirectional level-by-level BFS. After the first meet, expansion
@@ -194,6 +196,9 @@ func Optimal(c *code.CSS, maxStates int) *circuit.Circuit {
 	best := int(^uint(0) >> 1)
 	fwdDepth, bwdDepth := 0, 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(fwdFrontier) == 0 || len(bwdFrontier) == 0 {
 			break
 		}
@@ -202,7 +207,7 @@ func Optimal(c *code.CSS, maxStates int) *circuit.Circuit {
 		}
 		if len(fwd) > maxStates || len(bwd) > maxStates {
 			if meet == "" {
-				return nil
+				return nil, nil
 			}
 			break
 		}
@@ -224,11 +229,14 @@ func Optimal(c *code.CSS, maxStates int) *circuit.Circuit {
 		}
 		var next []string
 		for _, key := range *frontier {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Bail out mid-level once the budget is blown; waiting for
 			// the level barrier can cost minutes on larger codes.
 			if len(this) > maxStates {
 				if meet == "" {
-					return nil
+					return nil, nil
 				}
 				break
 			}
@@ -258,7 +266,7 @@ func Optimal(c *code.CSS, maxStates int) *circuit.Circuit {
 		*frontier = next
 	}
 	if meet == "" {
-		return nil
+		return nil, nil
 	}
 
 	// Reconstruct: forward path ops (application order) then backward path
@@ -305,7 +313,7 @@ func Optimal(c *code.CSS, maxStates int) *circuit.Circuit {
 	for _, o := range ops {
 		circ.AppendCNOT(o.p, o.q)
 	}
-	return circ
+	return circ, nil
 }
 
 // assemble creates the preparation prefix: |+> on the support of the unit

@@ -1,6 +1,7 @@
 package prep
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/code"
@@ -20,7 +21,10 @@ func TestHeuristicPreparesAllCatalogStates(t *testing.T) {
 
 func TestOptimalSteane(t *testing.T) {
 	c := code.Steane()
-	circ := Optimal(c, 0)
+	circ, err := Optimal(context.Background(), c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if circ == nil {
 		t.Fatal("optimal synthesis gave up on Steane")
 	}
@@ -40,7 +44,10 @@ func TestOptimalSteane(t *testing.T) {
 
 func TestOptimalShor(t *testing.T) {
 	c := code.Shor()
-	circ := Optimal(c, 0)
+	circ, err := Optimal(context.Background(), c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if circ == nil {
 		t.Fatal("optimal synthesis gave up on Shor")
 	}
@@ -59,7 +66,10 @@ func TestOptimalNeverWorseThanHeuristic(t *testing.T) {
 		if c.N > 9 {
 			continue // budgeted search targets small codes
 		}
-		circ := Optimal(c, 200_000)
+		circ, err := Optimal(context.Background(), c, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if circ == nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package qasm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestExportNoCregWithoutMeasurements(t *testing.T) {
 }
 
 func TestExportProtocolFlatCircuit(t *testing.T) {
-	p, err := core.Build(code.Steane(), core.Config{})
+	p, err := core.Build(context.Background(), code.Steane(), core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -409,8 +410,22 @@ const varDecay = 1 / 0.95
 // the model is retained and can be read with Value. Solve may be called
 // again after adding further clauses (e.g. blocking clauses).
 func (s *Solver) Solve() (bool, error) {
+	return s.SolveContext(context.Background())
+}
+
+// SolveContext is Solve under a context: the CDCL search polls ctx between
+// propagation/decision cycles and aborts promptly (well under a second on
+// the instances of this module) when the context is cancelled or its
+// deadline passes, returning ctx.Err() (matchable with errors.Is against
+// context.Canceled / context.DeadlineExceeded). The solver stays usable
+// after an interrupted call: clauses and learnt facts are retained and
+// SolveContext may be invoked again.
+func (s *Solver) SolveContext(ctx context.Context) (bool, error) {
 	if s.unsat {
 		return false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
@@ -421,7 +436,11 @@ func (s *Solver) Solve() (bool, error) {
 	restartBase := int64(100)
 	for restart := 0; ; restart++ {
 		budget := restartBase * int64(luby(restart))
-		res, done := s.search(budget)
+		res, done, err := s.search(ctx, budget)
+		if err != nil {
+			s.cancelUntil(0)
+			return false, err
+		}
 		if done {
 			return res, nil
 		}
@@ -431,18 +450,28 @@ func (s *Solver) Solve() (bool, error) {
 	}
 }
 
+// ctxPollInterval is the number of propagate/decision cycles between context
+// polls inside search: frequent enough that cancellation lands within
+// milliseconds, rare enough that the poll never shows up in profiles.
+const ctxPollInterval = 512
+
 // search runs CDCL for at most maxConfl conflicts. done=false requests a
 // restart.
-func (s *Solver) search(maxConfl int64) (sat bool, done bool) {
+func (s *Solver) search(ctx context.Context, maxConfl int64) (sat bool, done bool, err error) {
 	confl := int64(0)
-	for {
+	for iter := 0; ; iter++ {
+		if iter%ctxPollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, false, err
+			}
+		}
 		c := s.propagate()
 		if c != nil {
 			s.conflicts++
 			confl++
 			if s.decisionLevel() == 0 {
 				s.unsat = true
-				return false, true
+				return false, true, nil
 			}
 			learnt, btLevel := s.analyze(c)
 			s.cancelUntil(btLevel)
@@ -459,7 +488,7 @@ func (s *Solver) search(maxConfl int64) (sat bool, done bool) {
 		}
 		if confl >= maxConfl || (s.maxConflicts > 0 && s.conflicts >= s.maxConflicts) {
 			s.cancelUntil(0)
-			return false, false
+			return false, false, nil
 		}
 		if s.maxLearnts == 0 {
 			s.maxLearnts = 4000 + len(s.clauses)
@@ -473,7 +502,7 @@ func (s *Solver) search(maxConfl int64) (sat bool, done bool) {
 		if v < 0 {
 			// All variables assigned: a model.
 			s.extractModel()
-			return true, true
+			return true, true, nil
 		}
 		s.decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))

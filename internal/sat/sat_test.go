@@ -1,9 +1,12 @@
 package sat
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func lit(v int) Lit  { return MkLit(v, false) }
@@ -378,5 +381,73 @@ func BenchmarkPigeonhole6(b *testing.B) {
 		if ok, _ := s.Solve(); ok {
 			b.Fatal("PHP must be UNSAT")
 		}
+	}
+}
+
+// pigeonholeSolver builds PHP(p, h) without solving it: every pigeon sits
+// in some hole, no hole holds two pigeons. Unsatisfiable for p > h and
+// exponentially hard for resolution-based solvers — the canonical
+// long-running CDCL instance for the cancellation tests.
+func pigeonholeSolver(p, h int) *Solver {
+	s := NewSolver()
+	vars := make([][]int, p)
+	for i := range vars {
+		vars[i] = make([]int, h)
+		for j := range vars[i] {
+			vars[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < p; i++ {
+		cl := make([]Lit, h)
+		for j := 0; j < h; j++ {
+			cl[j] = lit(vars[i][j])
+		}
+		s.AddClause(cl...)
+	}
+	for j := 0; j < h; j++ {
+		for a := 0; a < p; a++ {
+			for b := a + 1; b < p; b++ {
+				s.AddClause(nlit(vars[a][j]), nlit(vars[b][j]))
+			}
+		}
+	}
+	return s
+}
+
+func TestSolveContextDeadline(t *testing.T) {
+	s := pigeonholeSolver(14, 13) // far beyond any reasonable time budget
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.SolveContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline abort took %v, want well under 1s", elapsed)
+	}
+}
+
+func TestSolveContextAlreadyCancelled(t *testing.T) {
+	s := pigeonholeSolver(14, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SolveContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveContextBackgroundMatchesSolve(t *testing.T) {
+	// The context path must not change answers on decidable instances.
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	s.AddClause(nlit(a))
+	ok, err := s.SolveContext(context.Background())
+	if err != nil || !ok {
+		t.Fatalf("solve = %v, %v", ok, err)
+	}
+	if !s.Value(b) || s.Value(a) {
+		t.Fatal("model wrong under SolveContext")
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/circuit"
@@ -20,7 +21,7 @@ func TestExecutorMatchesSymbolicPropagation(t *testing.T) {
 	for _, cs := range []*code.CSS{code.Steane(), code.Surface3(), code.Carbon()} {
 		cs := cs
 		t.Run(cs.Name, func(t *testing.T) {
-			p, err := core.Build(cs, core.Config{})
+			p, err := core.Build(context.Background(), cs, core.Config{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -70,8 +71,9 @@ type FaultOrderResult struct {
 // substitute described in DESIGN.md): order w = 0 and 1 are enumerated
 // exhaustively — for a fault-tolerant protocol F[1] must be exactly 0, which
 // doubles as the FT certificate — and orders 2..maxW are sampled with the
-// given number of samples per order.
-func (est *Estimator) FaultOrder(maxW, samples int, rng *rand.Rand) FaultOrderResult {
+// given number of samples per order. Cancelling ctx aborts the enumeration
+// and sampling loops promptly with ctx.Err().
+func (est *Estimator) FaultOrder(ctx context.Context, maxW, samples int, rng *rand.Rand) (FaultOrderResult, error) {
 	counter := &noise.Counter{}
 	Run(est.P, counter)
 	kinds := counter.Kinds
@@ -83,6 +85,9 @@ func (est *Estimator) FaultOrder(maxW, samples int, rng *rand.Rand) FaultOrderRe
 		// operator uniformly within its location (the E1_1 conditionals).
 		var sum float64
 		for loc, kind := range kinds {
+			if err := ctx.Err(); err != nil {
+				return FaultOrderResult{}, err
+			}
 			ops := noise.OpsFor(kind)
 			var x float64
 			for _, op := range ops {
@@ -99,6 +104,11 @@ func (est *Estimator) FaultOrder(maxW, samples int, rng *rand.Rand) FaultOrderRe
 	for w := 2; w <= maxW; w++ {
 		var x float64
 		for s := 0; s < samples; s++ {
+			if s%ctxPollShots == 0 {
+				if err := ctx.Err(); err != nil {
+					return FaultOrderResult{}, err
+				}
+			}
 			faults := map[int]noise.Fault{}
 			for len(faults) < w {
 				loc := rng.Intn(n)
@@ -115,7 +125,7 @@ func (est *Estimator) FaultOrder(maxW, samples int, rng *rand.Rand) FaultOrderRe
 		}
 		res.F[w] = x / float64(samples)
 	}
-	return res
+	return res, nil
 }
 
 // Rate evaluates the stratified logical error rate at physical rate p:

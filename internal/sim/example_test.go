@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -14,7 +15,7 @@ import (
 // single-fault failure probability: for a fault-tolerant protocol the
 // exhaustively enumerated order-1 stratum must be zero.
 func ExampleEstimator() {
-	proto, err := core.Build(code.Steane(), core.Config{})
+	proto, err := core.Build(context.Background(), code.Steane(), core.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -23,7 +24,10 @@ func ExampleEstimator() {
 	}
 
 	est := sim.NewEstimator(proto)
-	res := est.FaultOrder(1, 0, rand.New(rand.NewSource(1)))
+	res, err := est.FaultOrder(context.Background(), 1, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("fault locations: %d\n", res.N)
 	fmt.Printf("P(logical error | 1 fault) = %g\n", res.F[1])
 	// Output:

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"runtime"
@@ -26,12 +27,18 @@ func DefaultWorkers() int {
 	return runtime.NumCPU()
 }
 
+// ctxPollShots is the number of shots a sampling worker runs between context
+// polls: frequent enough that cancellation lands within milliseconds, rare
+// enough that the poll is invisible in the shot throughput.
+const ctxPollShots = 64
+
 // DirectMCParallel is DirectMC fanned out over a bounded worker pool: shots
 // are split across workers, each with an independent RNG stream derived from
 // seed. workers <= 0 selects DefaultWorkers(). The protocol object is shared
 // read-only; every worker owns its frame executor state, so the sampling is
 // race-free and the result depends only on (seed, workers, shots).
-func (est *Estimator) DirectMCParallel(p float64, shots int, seed int64, workers int) float64 {
+// Cancelling ctx stops every worker promptly and returns ctx.Err().
+func (est *Estimator) DirectMCParallel(ctx context.Context, p float64, shots int, seed int64, workers int) (float64, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -55,6 +62,9 @@ func (est *Estimator) DirectMCParallel(p float64, shots int, seed int64, workers
 			inj := &noise.Depolarizing{P: p, Rng: rng}
 			count := 0
 			for i := 0; i < n; i++ {
+				if i%ctxPollShots == 0 && ctx.Err() != nil {
+					return
+				}
 				if est.Judge(Run(est.P, inj)) {
 					count++
 				}
@@ -63,9 +73,12 @@ func (est *Estimator) DirectMCParallel(p float64, shots int, seed int64, workers
 		}(w, n)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	total := 0
 	for _, f := range fails {
 		total += f
 	}
-	return float64(total) / float64(shots)
+	return float64(total) / float64(shots), nil
 }

@@ -1,17 +1,31 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/code"
 )
+
+// mcp runs DirectMCParallel under a background context and fails the test on
+// error; the shared shape of the determinism tests below.
+func mcp(t *testing.T, est *Estimator, p float64, shots int, seed int64, workers int) float64 {
+	t.Helper()
+	v, err := est.DirectMCParallel(context.Background(), p, shots, seed, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
 
 func TestDirectMCParallelAgreesWithSerial(t *testing.T) {
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
 	const pp, shots = 0.03, 40000
-	par := est.DirectMCParallel(pp, shots, 5, 0)
+	par := mcp(t, est, pp, shots, 5, 0)
 	ser := est.DirectMC(pp, shots, rand.New(rand.NewSource(6)))
 	if par == 0 || ser == 0 {
 		t.Fatalf("no failures sampled: par=%g ser=%g", par, ser)
@@ -25,8 +39,8 @@ func TestDirectMCParallelAgreesWithSerial(t *testing.T) {
 func TestDirectMCParallelDeterministicForSeed(t *testing.T) {
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
-	a := est.DirectMCParallel(0.05, 5000, 42, 0)
-	b := est.DirectMCParallel(0.05, 5000, 42, 0)
+	a := mcp(t, est, 0.05, 5000, 42, 0)
+	b := mcp(t, est, 0.05, 5000, 42, 0)
 	if a != b {
 		t.Fatalf("same seed gave %g and %g", a, b)
 	}
@@ -36,7 +50,7 @@ func TestDirectMCParallelSmallShotCount(t *testing.T) {
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
 	// Fewer shots than CPUs must still work.
-	_ = est.DirectMCParallel(0.1, 3, 1, 0)
+	_ = mcp(t, est, 0.1, 3, 1, 0)
 }
 
 func TestDirectMCParallelExplicitWorkers(t *testing.T) {
@@ -44,13 +58,48 @@ func TestDirectMCParallelExplicitWorkers(t *testing.T) {
 	est := NewEstimator(p)
 	// The result is a pure function of (seed, workers, shots), so a fixed
 	// worker count must reproduce exactly regardless of the machine.
-	a := est.DirectMCParallel(0.05, 4000, 7, 3)
-	b := est.DirectMCParallel(0.05, 4000, 7, 3)
+	a := mcp(t, est, 0.05, 4000, 7, 3)
+	b := mcp(t, est, 0.05, 4000, 7, 3)
 	if a != b {
 		t.Fatalf("explicit worker count not deterministic: %g vs %g", a, b)
 	}
-	if c := est.DirectMCParallel(0.05, 4000, 7, 1); c == 0 && a == 0 {
+	if c := mcp(t, est, 0.05, 4000, 7, 1); c == 0 && a == 0 {
 		t.Fatal("no failures sampled at p=0.05")
+	}
+}
+
+func TestDirectMCParallelCancellation(t *testing.T) {
+	p := buildProto(t, code.Steane())
+	est := NewEstimator(p)
+	// A shot count that would take minutes serially must abort promptly
+	// once the context is cancelled mid-sampling.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := est.DirectMCParallel(ctx, 0.01, 500_000_000, 1, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v, want < 1s", elapsed)
+	}
+}
+
+func TestFaultOrderCancellation(t *testing.T) {
+	p := buildProto(t, code.Steane())
+	est := NewEstimator(p)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := est.FaultOrder(ctx, 4, 50_000_000, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v, want < 1s", elapsed)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func buildProto(t *testing.T, cs *code.CSS) *core.Protocol {
 	t.Helper()
-	p, err := core.Build(cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
+	p, err := core.Build(context.Background(), cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
 	if err != nil {
 		t.Fatalf("build %s: %v", cs.Name, err)
 	}
@@ -88,7 +89,10 @@ func TestFaultOrderF1IsZero(t *testing.T) {
 	for _, cs := range []*code.CSS{code.Steane(), code.Surface3()} {
 		p := buildProto(t, cs)
 		est := NewEstimator(p)
-		res := est.FaultOrder(1, 0, rng)
+		res, err := est.FaultOrder(context.Background(), 1, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if res.F[1] != 0 {
 			t.Fatalf("%s: f1 = %g, want exactly 0 (fault tolerance)", cs.Name, res.F[1])
 		}
@@ -99,7 +103,10 @@ func TestQuadraticScaling(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
-	res := est.FaultOrder(3, 4000, rng)
+	res, err := est.FaultOrder(context.Background(), 3, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r3 := res.Rate(1e-3)
 	r4 := res.Rate(1e-4)
 	ratio := r3 / r4
@@ -113,7 +120,10 @@ func TestDirectMCAgreesWithStratified(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
-	res := est.FaultOrder(3, 20000, rng)
+	res, err := est.FaultOrder(context.Background(), 3, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	const pp = 0.02
 	mc := est.DirectMC(pp, 30000, rng)
 	strat := res.Rate(pp)

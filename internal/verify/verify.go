@@ -8,6 +8,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,14 +72,15 @@ func (r *Result) CNOTs() int {
 // stabilizers from the span of det, of minimum total weight, detecting every
 // error in errs (odd overlap with at least one measurement). A nil Result
 // with nil error is returned when errs is empty (nothing to verify).
-func Synthesize(det *f2.Mat, errs []f2.Vec) (*Result, error) {
+// Cancelling ctx aborts the underlying SAT search with ctx.Err().
+func Synthesize(ctx context.Context, det *f2.Mat, errs []f2.Vec) (*Result, error) {
 	if len(errs) == 0 {
 		return &Result{}, nil
 	}
 	maxU := det.SpanBasis().Rows()
 	for u := 1; u <= maxU; u++ {
 		// First decide feasibility for this u without a weight bound.
-		stabs, err := solveVerification(det, errs, u, -1)
+		stabs, err := solveVerification(ctx, det, errs, u, -1)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +92,7 @@ func Synthesize(det *f2.Mat, errs []f2.Vec) (*Result, error) {
 		lo, hi := u, totalWeight(stabs)-1
 		for lo <= hi {
 			mid := (lo + hi) / 2
-			cand, err := solveVerification(det, errs, u, mid)
+			cand, err := solveVerification(ctx, det, errs, u, mid)
 			if err != nil {
 				return nil, err
 			}
@@ -110,11 +112,11 @@ func Synthesize(det *f2.Mat, errs []f2.Vec) (*Result, error) {
 // count and total weight (up to limit, <= 0 meaning a default of 64),
 // deduplicated as unordered sets of measured stabilizers. The first element
 // equals the Synthesize result's optimum parameters.
-func EnumerateOptimal(det *f2.Mat, errs []f2.Vec, limit int) ([]*Result, error) {
+func EnumerateOptimal(ctx context.Context, det *f2.Mat, errs []f2.Vec, limit int) ([]*Result, error) {
 	if limit <= 0 {
 		limit = 64
 	}
-	opt, err := Synthesize(det, errs)
+	opt, err := Synthesize(ctx, det, errs)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +128,7 @@ func EnumerateOptimal(det *f2.Mat, errs []f2.Vec, limit int) ([]*Result, error) 
 	seen := map[string]bool{}
 	var out []*Result
 	for iter := 0; len(out) < limit && iter < 4096; iter++ {
-		ok, err := b.Solve()
+		ok, err := b.SolveContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -151,12 +153,12 @@ func EnumerateOptimal(det *f2.Mat, errs []f2.Vec, limit int) ([]*Result, error) 
 
 // solveVerification decides one (u, v) instance; v < 0 disables the weight
 // bound. It returns the measured stabilizers or nil if unsatisfiable.
-func solveVerification(det *f2.Mat, errs []f2.Vec, u, v int) ([]f2.Vec, error) {
+func solveVerification(ctx context.Context, det *f2.Mat, errs []f2.Vec, u, v int) ([]f2.Vec, error) {
 	b, sel, ok := buildVerification(det, errs, u, v)
 	if !ok {
 		return nil, nil
 	}
-	sat, err := b.Solve()
+	sat, err := b.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/code"
@@ -26,7 +27,7 @@ func TestSynthesizeSteaneVerification(t *testing.T) {
 	c := code.Steane()
 	circ := prep.Heuristic(c)
 	ex := DangerousErrors(c, circ, code.ErrX)
-	res, err := Synthesize(c.DetectionGroup(code.ErrX), ex)
+	res, err := Synthesize(context.Background(), c.DetectionGroup(code.ErrX), ex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSynthesizeSteaneVerification(t *testing.T) {
 
 func TestSynthesizeEmptyErrors(t *testing.T) {
 	c := code.Steane()
-	res, err := Synthesize(c.DetectionGroup(code.ErrX), nil)
+	res, err := Synthesize(context.Background(), c.DetectionGroup(code.ErrX), nil)
 	if err != nil || res.Ancillas() != 0 {
 		t.Fatalf("empty error set should need no verification, got %v, %v", res, err)
 	}
@@ -73,7 +74,7 @@ func TestSynthesizeDetectsAllCatalog(t *testing.T) {
 			circ := prep.Heuristic(c)
 			for _, kind := range []code.ErrType{code.ErrX, code.ErrZ} {
 				errs := DangerousErrors(c, circ, kind)
-				res, err := Synthesize(c.DetectionGroup(kind), errs)
+				res, err := Synthesize(context.Background(), c.DetectionGroup(kind), errs)
 				if err != nil {
 					t.Fatalf("%v: %v", kind, err)
 				}
@@ -104,7 +105,7 @@ func TestSynthesizeMinimality(t *testing.T) {
 		f2.MustFromString("1000"),
 		f2.MustFromString("0010"),
 	}
-	res, err := Synthesize(det, errs)
+	res, err := Synthesize(context.Background(), det, errs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestSynthesizeWeightOptimality(t *testing.T) {
 		"1100",
 	)
 	errs := []f2.Vec{f2.MustFromString("1000")}
-	res, err := Synthesize(det, errs)
+	res, err := Synthesize(context.Background(), det, errs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,14 +141,14 @@ func TestEnumerateOptimalDistinct(t *testing.T) {
 	c := code.Steane()
 	circ := prep.Heuristic(c)
 	ex := DangerousErrors(c, circ, code.ErrX)
-	all, err := EnumerateOptimal(c.DetectionGroup(code.ErrX), ex, 16)
+	all, err := EnumerateOptimal(context.Background(), c.DetectionGroup(code.ErrX), ex, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) == 0 {
 		t.Fatal("no optimal verifications enumerated")
 	}
-	opt, _ := Synthesize(c.DetectionGroup(code.ErrX), ex)
+	opt, _ := Synthesize(context.Background(), c.DetectionGroup(code.ErrX), ex)
 	seen := map[string]bool{}
 	for _, r := range all {
 		if r.Ancillas() != opt.Ancillas() || r.CNOTs() != opt.CNOTs() {
@@ -164,7 +165,7 @@ func TestEnumerateOptimalDistinct(t *testing.T) {
 func TestUndetectableErrorFails(t *testing.T) {
 	det := f2.MustMatFromStrings("1100")
 	errs := []f2.Vec{f2.MustFromString("0011")} // orthogonal to everything
-	if _, err := Synthesize(det, errs); err == nil {
+	if _, err := Synthesize(context.Background(), det, errs); err == nil {
 		t.Fatal("expected failure for undetectable error")
 	}
 }
