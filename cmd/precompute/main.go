@@ -1,0 +1,148 @@
+// Command precompute batch-synthesizes protocols into a persistent store
+// directory, so operators can ship pre-warmed caches: a server started with
+// -store-dir over a precomputed directory serves every listed protocol from
+// disk without ever running the SAT solver (see docs/protocol-format.md for
+// the file format).
+//
+// By default it synthesizes the entire code catalog with the paper's
+// default methods; -codes restricts the set, -prep/-verif/-flag-all select
+// the synthesis variant (each variant has its own store key, so a store can
+// hold several variants of the same code side by side). Protocols already
+// in the store are detected through the cache layering and skipped without
+// solver work, so re-running precompute after adding one code to the list
+// only pays for the new code.
+//
+// Usage:
+//
+//	precompute -store-dir ./protocols                    # whole catalog
+//	precompute -store-dir ./protocols -codes Steane,Shor
+//	precompute -store-dir ./protocols -prep opt -verif global
+//	precompute -store-dir ./protocols -list              # show what is stored
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/dftsp"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global parts, so tests can drive the CLI
+// end to end.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("precompute", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		storeDir = fs.String("store-dir", "", "store directory to fill (required)")
+		codes    = fs.String("codes", "", "comma-separated catalog code names (default: the whole catalog)")
+		prep     = fs.String("prep", "heu", "preparation synthesis: heu or opt")
+		verif    = fs.String("verif", "opt", "verification synthesis: opt or global")
+		flagAll  = fs.Bool("flag-all", false, "force a flag on every verification measurement")
+		timeout  = fs.Duration("timeout", 0, "overall deadline (0: none)")
+		list     = fs.Bool("list", false, "list the store's contents instead of synthesizing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(stderr, "precompute: -store-dir is required")
+		fs.Usage()
+		return 2
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	svc := dftsp.NewService(0)
+	if err := svc.AttachStore(*storeDir); err != nil {
+		fmt.Fprintln(stderr, "precompute:", err)
+		return 1
+	}
+
+	if *list {
+		return listStore(svc, stdout, stderr)
+	}
+
+	names := dftsp.CodeNames()
+	if *codes != "" {
+		names = strings.Split(*codes, ",")
+	}
+	items := make([]dftsp.Options, 0, len(names))
+	for _, name := range names {
+		items = append(items, dftsp.Options{
+			Code:    strings.TrimSpace(name),
+			Prep:    *prep,
+			Verif:   *verif,
+			FlagAll: *flagAll,
+		})
+	}
+
+	start := time.Now()
+	results := svc.SynthesizeBatch(ctx, items, func(ev dftsp.BatchEvent) {
+		switch ev.Status {
+		case dftsp.BatchSynthesizing:
+			fmt.Fprintf(stdout, "checking  %s\n", items[ev.Index].Code)
+		case dftsp.BatchDone:
+			verb := "computed "
+			if ev.CacheHit {
+				verb = "stored   " // already on disk; served without solving
+			}
+			fmt.Fprintf(stdout, "%s %s %s (%dms)\n", verb, ev.Code, ev.Params, ev.Elapsed)
+		case dftsp.BatchError:
+			fmt.Fprintf(stderr, "failed    %s: %s\n", items[ev.Index].Code, ev.Error)
+		}
+	})
+
+	var synthesized, skipped, failed int
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			failed++
+		case r.CacheHit:
+			skipped++
+		default:
+			synthesized++
+		}
+	}
+	st := svc.Stats()
+	fmt.Fprintf(stdout, "precompute: %d synthesized, %d already stored, %d failed in %v (store: %s, %d writes, %d write failures)\n",
+		synthesized, skipped, failed, time.Since(start).Round(time.Millisecond), *storeDir, st.StoreWrites, st.WriteFailures)
+	if failed > 0 || st.WriteFailures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// listStore prints one line per stored protocol.
+func listStore(svc *dftsp.Service, stdout, stderr io.Writer) int {
+	infos, err := svc.Protocols()
+	if err != nil {
+		fmt.Fprintln(stderr, "precompute:", err)
+		return 1
+	}
+	n := 0
+	for _, info := range infos {
+		if !info.OnDisk {
+			continue
+		}
+		fmt.Fprintf(stdout, "%-14s %-12s %s\n", info.Code, info.Params, info.Key)
+		n++
+	}
+	fmt.Fprintf(stdout, "%d protocols in %s\n", n, svc.StoreDir())
+	return 0
+}

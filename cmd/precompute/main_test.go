@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestPrecomputeFillsAndThenSkips(t *testing.T) {
+	dir := t.TempDir()
+
+	code, out, errOut := runCLI(t, "-store-dir", dir, "-codes", "Steane,Shor")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "computed  Steane") || !strings.Contains(out, "computed  Shor") {
+		t.Fatalf("missing per-code progress:\n%s", out)
+	}
+	if !strings.Contains(out, "2 synthesized, 0 already stored, 0 failed") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("store has %d files, want 2", len(entries))
+	}
+
+	// Second run over the same store must not synthesize anything.
+	code, out, errOut = runCLI(t, "-store-dir", dir, "-codes", "Steane,Shor")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "0 synthesized, 2 already stored, 0 failed") {
+		t.Fatalf("rerun summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "stored    Steane") {
+		t.Fatalf("rerun missing skip lines:\n%s", out)
+	}
+}
+
+func TestPrecomputeListsTheStore(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, errOut := runCLI(t, "-store-dir", dir, "-codes", "Steane"); code != 0 {
+		t.Fatalf("fill failed: %s", errOut)
+	}
+	code, out, _ := runCLI(t, "-store-dir", dir, "-list")
+	if code != 0 {
+		t.Fatalf("list exit %d", code)
+	}
+	if !strings.Contains(out, "Steane") || !strings.Contains(out, "[[7,1,3]]") || !strings.Contains(out, "1 protocols in") {
+		t.Fatalf("listing:\n%s", out)
+	}
+}
+
+func TestPrecomputeReportsFailuresNonZero(t *testing.T) {
+	code, _, errOut := runCLI(t, "-store-dir", t.TempDir(), "-codes", "NoSuchCode")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "NoSuchCode") {
+		t.Fatalf("stderr missing failure detail: %s", errOut)
+	}
+}
+
+func TestPrecomputeRequiresStoreDir(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -4,6 +4,14 @@
 // coalesced into one synthesis, and estimation jobs run on a bounded worker
 // pool sized to the machine.
 //
+// With -store-dir the cache becomes persistent: every synthesized protocol
+// is also written to a content-addressed on-disk store (see
+// docs/protocol-format.md), the store is preloaded into memory at boot, and
+// lookups fall through memory → disk → SAT solve — so a restarted server
+// serves every previously synthesized protocol from disk without running
+// the solver. Pre-warm a store directory offline with cmd/precompute and
+// ship it with the server.
+//
 // Every handler works off the request context: a client that hangs up (or a
 // per-request timeout that fires, see -timeout) cancels the in-flight SAT
 // solving and Monte-Carlo sampling instead of letting them run to
@@ -17,7 +25,8 @@
 //	POST /synthesize  {"code":"Steane","prep":"opt","qasm":true}
 //	POST /estimate    {"options":{"code":"Steane"},"estimate":{"rates":[1e-3],"mc_shots":10000}}
 //	POST /batch       {"items":[{"code":"Steane"},{"code":"Shor"}]}  → NDJSON event stream
-//	GET  /stats       cache and worker-pool counters
+//	GET  /protocols   protocols servable without synthesis (memory and store)
+//	GET  /stats       cache, store and worker-pool counters
 //	GET  /healthz     liveness probe
 //
 // The /batch response is application/x-ndjson: one JSON event per line,
@@ -29,6 +38,7 @@
 // Usage:
 //
 //	server -addr :8080 -workers 8 -timeout 5m
+//	server -store-dir /var/lib/dftsp/protocols
 //	DFTSP_WORKERS=8 server
 package main
 
@@ -50,13 +60,27 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "Monte-Carlo workers per estimation job (0: DFTSP_WORKERS or CPU count)")
-		timeout = flag.Duration("timeout", 10*time.Minute, "per-request timeout (0: none)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "Monte-Carlo workers per estimation job (0: DFTSP_WORKERS or CPU count)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-request timeout (0: none)")
+		storeDir = flag.String("store-dir", "", "persistent protocol store directory, preloaded at boot (empty: memory-only)")
 	)
 	flag.Parse()
 
-	srv := newServer(dftsp.NewService(*workers), *timeout)
+	svc := dftsp.NewService(*workers)
+	if *storeDir != "" {
+		if err := svc.AttachStore(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "server:", err)
+			os.Exit(1)
+		}
+		loaded, skipped, err := svc.WarmStart(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "server: warm start:", err)
+			os.Exit(1)
+		}
+		log.Printf("dftsp server warm-started %d protocols from %s (%d unreadable entries skipped)", loaded, *storeDir, skipped)
+	}
+	srv := newServer(svc, *timeout)
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,6 +119,7 @@ func newServer(svc *dftsp.Service, timeout time.Duration) *server {
 	s.mux.HandleFunc("/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/protocols", s.handleProtocols)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -256,6 +281,28 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	})
+}
+
+// protocolsResponse lists every protocol servable without synthesis.
+type protocolsResponse struct {
+	Count     int                  `json:"count"`
+	Protocols []dftsp.ProtocolInfo `json:"protocols"`
+}
+
+// handleProtocols reports which protocols the service can serve without
+// invoking the SAT solver: completed in-memory cache entries and, when the
+// server runs with -store-dir, entries of the persistent store.
+func (s *server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	infos, err := s.svc.Protocols()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, protocolsResponse{Count: len(infos), Protocols: infos})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

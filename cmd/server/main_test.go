@@ -332,6 +332,122 @@ func TestBatchCancelStopsPendingSATWork(t *testing.T) {
 	}
 }
 
+// getJSON decodes a GET response body into out.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// newStoreServer builds a test server whose service persists protocols in
+// dir, optionally warm-started — the restart scenario of -store-dir.
+func newStoreServer(t *testing.T, dir string, warm bool) *httptest.Server {
+	t.Helper()
+	svc := dftsp.NewService(2)
+	if err := svc.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		if _, _, err := svc.WarmStart(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(newServer(svc, 0))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRestartedServerServesFromDiskWithoutSolving is the acceptance test of
+// the persistent store: a protocol synthesized before a "restart" must be
+// served afterwards without the SAT solver ever running, observable as
+// misses == 0 alongside a non-zero disk_hits / preloaded counter in /stats.
+func TestRestartedServerServesFromDiskWithoutSolving(t *testing.T) {
+	dir := t.TempDir()
+
+	ts1 := newStoreServer(t, dir, true)
+	status, first := postJSON(t, ts1.URL+"/synthesize", `{"code":"Steane"}`)
+	if status != http.StatusOK || first["cache_hit"] != false {
+		t.Fatalf("first synthesize: status %d: %v", status, first)
+	}
+	var stats dftsp.ServiceStats
+	getJSON(t, ts1.URL+"/stats", &stats)
+	if stats.Misses != 1 || stats.StoreWrites != 1 {
+		t.Fatalf("first server stats: %+v", stats)
+	}
+	ts1.Close()
+
+	// Cold restart without warm start: the request is served by a disk
+	// read, not a synthesis.
+	ts2 := newStoreServer(t, dir, false)
+	status, out := postJSON(t, ts2.URL+"/synthesize", `{"code":"Steane"}`)
+	if status != http.StatusOK {
+		t.Fatalf("synthesize after restart: status %d: %v", status, out)
+	}
+	if out["cache_hit"] != true || out["summary"] != first["summary"] {
+		t.Fatalf("restart did not serve the stored protocol: %v", out)
+	}
+	getJSON(t, ts2.URL+"/stats", &stats)
+	if stats.Misses != 0 || stats.DiskHits != 1 {
+		t.Fatalf("restarted server ran the solver: %+v", stats)
+	}
+
+	// Warm restart: the protocol is preloaded at boot and the request is a
+	// pure memory hit — still zero syntheses.
+	ts3 := newStoreServer(t, dir, true)
+	status, out = postJSON(t, ts3.URL+"/synthesize", `{"code":"Steane"}`)
+	if status != http.StatusOK || out["cache_hit"] != true {
+		t.Fatalf("warm restart: status %d: %v", status, out)
+	}
+	getJSON(t, ts3.URL+"/stats", &stats)
+	if stats.Misses != 0 || stats.Preloaded != 1 || stats.Hits != 1 {
+		t.Fatalf("warm-restarted server stats: %+v", stats)
+	}
+}
+
+func TestProtocolsEndpointListsMemoryAndStore(t *testing.T) {
+	dir := t.TempDir()
+	ts := newStoreServer(t, dir, false)
+
+	var listing struct {
+		Count     int                  `json:"count"`
+		Protocols []dftsp.ProtocolInfo `json:"protocols"`
+	}
+	if status := getJSON(t, ts.URL+"/protocols", &listing); status != http.StatusOK {
+		t.Fatalf("GET /protocols: status %d", status)
+	}
+	if listing.Count != 0 {
+		t.Fatalf("empty server lists %d protocols", listing.Count)
+	}
+
+	postJSON(t, ts.URL+"/synthesize", `{"code":"Steane"}`)
+	if status := getJSON(t, ts.URL+"/protocols", &listing); status != http.StatusOK {
+		t.Fatalf("GET /protocols: status %d", status)
+	}
+	if listing.Count != 1 || len(listing.Protocols) != 1 {
+		t.Fatalf("listing = %+v", listing)
+	}
+	p := listing.Protocols[0]
+	if p.Code != "Steane" || p.Params != "[[7,1,3]]" || !p.InMemory || !p.OnDisk {
+		t.Fatalf("protocol row = %+v", p)
+	}
+
+	resp, err := http.Post(ts.URL+"/protocols", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /protocols: status %d", resp.StatusCode)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")

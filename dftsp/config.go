@@ -28,8 +28,11 @@ const (
 // matrix rows). The zero value of every other field selects the paper's
 // defaults (heuristic preparation, per-layer optimal verification).
 type Options struct {
-	// Code names a catalog code (see CodeNames). Mutually exclusive with
-	// SurfaceDistance and Hx/Hz.
+	// Code names a catalog code (see CodeNames). Relaxed spellings are
+	// accepted and canonicalized: any name with the same code.Slug as a
+	// catalog entry resolves to that entry ("steane" → "Steane",
+	// "11-1-3" → "[[11,1,3]]"), so all spellings share one cache and store
+	// key. Mutually exclusive with SurfaceDistance and Hx/Hz.
 	Code string `json:"code,omitempty"`
 
 	// SurfaceDistance requests the [[d²,1,d]] rotated surface code of this
@@ -68,15 +71,17 @@ func DefaultOptions() Options {
 	return Options{Code: "Steane", Prep: PrepHeuristic, Verif: VerifOptimal}
 }
 
-// catalogNames memoizes the catalog's name set: normalized() validates
-// every request — and every cache-key computation — against it, and
-// rebuilding the nine catalog codes each time would dominate cache hits.
-var catalogNames = sync.OnceValue(func() map[string]bool {
-	names := map[string]bool{}
+// catalogResolve memoizes the exact-name and canonical-slug → catalog-name
+// map: normalized() resolves every request — and every cache-key
+// computation — through it, and rebuilding the nine catalog codes each time
+// would dominate cache hits.
+var catalogResolve = sync.OnceValue(func() map[string]string {
+	m := map[string]string{}
 	for _, c := range code.Catalog() {
-		names[c.Name] = true
+		m[c.Name] = c.Name
+		m[code.Slug(c.Name)] = c.Name
 	}
-	return names
+	return m
 })
 
 // CodeNames returns the catalog code names accepted by Options.Code, sorted.
@@ -132,8 +137,15 @@ func (o Options) normalized() (Options, error) {
 	if o.SurfaceDistance > 0 && (o.SurfaceDistance < 3 || o.SurfaceDistance%2 == 0) {
 		return o, badOptions("surface distance must be odd and >= 3, got %d", o.SurfaceDistance)
 	}
-	if o.Code != "" && !catalogNames()[o.Code] {
-		return o, badOptions("%w %q (available: %v)", ErrUnknownCode, o.Code, CodeNames())
+	if o.Code != "" {
+		canonical, ok := catalogResolve()[o.Code]
+		if !ok {
+			canonical, ok = catalogResolve()[code.Slug(o.Code)]
+		}
+		if !ok {
+			return o, badOptions("%w %q (available: %v)", ErrUnknownCode, o.Code, CodeNames())
+		}
+		o.Code = canonical
 	}
 
 	o.Prep = strings.ToLower(o.Prep)

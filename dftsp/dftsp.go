@@ -13,7 +13,9 @@
 //   - Protocol.Estimate: logical error rates (stratified and Monte-Carlo);
 //   - Protocol.WriteQASM: OpenQASM 2.0 export of the static circuit;
 //   - Service: a synthesis server core with an in-memory protocol cache,
-//     request coalescing, batch jobs and a bounded estimation worker pool;
+//     request coalescing, batch jobs, a bounded estimation worker pool and
+//     an optional persistent protocol store (AttachStore / WarmStart) so
+//     synthesized protocols survive restarts;
 //   - Search: CSS code discovery with exact distance certification.
 //
 // Every CPU-heavy entry point takes a context.Context as its first argument

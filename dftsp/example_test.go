@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/dftsp"
 )
@@ -33,6 +34,48 @@ func ExampleSynthesize() {
 	// Steane [[7,1,3]]: prep 9 CNOTs; layer 1 (X): 1 meas / 3 CNOTs / 0 flags, 1 classes
 	// FT certificate passed over 21 fault locations
 	// single-fault failure probability: 0
+}
+
+// ExampleService_WarmStart shows the restart story of the persistent
+// protocol store: one service synthesizes and persists a protocol, a second
+// service over the same directory preloads it at boot and serves it without
+// ever invoking the SAT solver (Stats().Misses counts solver runs).
+func ExampleService_WarmStart() {
+	dir, err := os.MkdirTemp("", "dftsp-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+
+	// Before the "restart": synthesize once with the store attached.
+	first := dftsp.NewService(0)
+	if err := first.AttachStore(dir); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := first.Protocol(ctx, dftsp.Options{Code: "Steane"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// After the "restart": a fresh service, warm-started from the store.
+	restarted := dftsp.NewService(0)
+	if err := restarted.AttachStore(dir); err != nil {
+		log.Fatal(err)
+	}
+	loaded, skipped, err := restarted.WarmStart(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("preloaded %d protocols (%d skipped)\n", loaded, skipped)
+
+	p, hit, err := restarted.Protocol(ctx, dftsp.Options{Code: "Steane"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s cache_hit=%v solver_runs=%d\n", p.CodeParams(), hit, restarted.Stats().Misses)
+	// Output:
+	// preloaded 1 protocols (0 skipped)
+	// [[7,1,3]] cache_hit=true solver_runs=0
 }
 
 // ExampleService_SynthesizeBatch synthesizes several codes as one batch,

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Service is the long-running core of a synthesis server: it memoizes
@@ -14,6 +15,10 @@ import (
 // Options key, coalesces concurrent identical requests so each distinct
 // protocol is synthesized exactly once, and bounds the number of concurrent
 // estimation jobs so Monte-Carlo fan-out never oversubscribes the CPUs.
+// With a persistent store attached (AttachStore), lookups fall through
+// memory → disk → SAT solve, and successful syntheses are written back to
+// disk so they survive restarts; WarmStart preloads the store into memory
+// at boot.
 //
 // Cancellation semantics: every request carries a context. A request that
 // joins an in-flight synthesis and then abandons it (context cancelled)
@@ -25,10 +30,18 @@ type Service struct {
 
 	mu        sync.Mutex
 	entries   map[string]*cacheEntry
+	store     *store.Store // nil: memory-only
 	hits      uint64
 	misses    uint64
 	coalesced uint64
 	failed    uint64
+
+	// Store counters, all zero while no store is attached.
+	diskHits      uint64
+	diskMisses    uint64
+	storeWrites   uint64
+	writeFailures uint64
+	preloaded     uint64
 
 	estSem   chan struct{} // bounds concurrent estimation jobs
 	batchSem chan struct{} // bounds concurrent batch synthesis items
@@ -40,21 +53,32 @@ type Service struct {
 // cancel aborts the synthesis and is invoked when waiters drops to zero
 // before completion.
 type cacheEntry struct {
-	ready   chan struct{}
-	p       *Protocol
-	err     error
-	waiters int // guarded by Service.mu
-	cancel  context.CancelFunc
+	ready    chan struct{}
+	p        *Protocol
+	err      error
+	waiters  int  // guarded by Service.mu
+	fromDisk bool // entry was served from the persistent store, not solved
+	cancel   context.CancelFunc
 }
 
-// ServiceStats is a snapshot of the service's cache counters.
+// ServiceStats is a snapshot of the service's cache and store counters.
+// Memory and disk are counted separately: a request served by decoding a
+// stored protocol increments DiskHits, never Hits, and only requests that
+// actually ran the SAT solver count as Misses.
 type ServiceStats struct {
-	Entries   int    `json:"entries"`   // cached protocols
-	Hits      uint64 `json:"hits"`      // served from a completed cache entry
-	Misses    uint64 `json:"misses"`    // requests that initiated a synthesis
+	Entries   int    `json:"entries"`   // cached protocols (in memory)
+	Hits      uint64 `json:"hits"`      // served from a completed in-memory entry
+	Misses    uint64 `json:"misses"`    // requests that ran a SAT synthesis
 	Coalesced uint64 `json:"coalesced"` // requests that joined an in-flight synthesis
 	Failed    uint64 `json:"failed"`    // requests whose synthesis (own or awaited) failed
 	Workers   int    `json:"workers"`   // Monte-Carlo workers per estimation job
+
+	// Persistent-store counters; all zero while no store is attached.
+	DiskHits      uint64 `json:"disk_hits"`            // served by decoding a stored protocol
+	DiskMisses    uint64 `json:"disk_misses"`          // store probed, no usable entry
+	StoreWrites   uint64 `json:"store_writes"`         // protocols persisted after synthesis
+	WriteFailures uint64 `json:"store_write_failures"` // persist attempts that failed (request still served)
+	Preloaded     uint64 `json:"preloaded"`            // protocols loaded into memory by WarmStart
 }
 
 // NewService returns a service whose estimation jobs each use the given
@@ -79,12 +103,14 @@ func NewService(workers int) *Service {
 }
 
 // Protocol returns the synthesized protocol for opts, serving it from the
-// cache when an identical request (same canonical key) was already
-// synthesized. The second return reports whether the protocol came from the
-// cache (including joining an in-flight synthesis) rather than a synthesis
-// this call initiated. Concurrent identical requests are coalesced: only
-// the first runs the SAT solver, the rest wait for its result. Failed
-// syntheses are not cached, so transient failures can be retried.
+// in-memory cache — or, with a store attached, from disk — when an
+// identical request (same canonical key) was already synthesized. The
+// second return reports whether the protocol came from a cache layer
+// (memory, disk, or joining an in-flight synthesis) rather than a synthesis
+// this call ran. Concurrent identical requests are coalesced: only the
+// first probes the store and runs the SAT solver, the rest wait for its
+// result. Failed syntheses are not cached, so transient failures can be
+// retried.
 //
 // Cancelling ctx makes this call return ctx.Err() immediately; the
 // underlying synthesis keeps running for the benefit of other waiters and
@@ -116,19 +142,30 @@ func (s *Service) Protocol(ctx context.Context, opts Options) (*Protocol, bool, 
 	synthCtx, cancel := context.WithCancel(context.Background())
 	e.cancel = cancel
 	s.entries[key] = e
-	s.misses++
 	s.mu.Unlock()
 
-	go s.synthesize(synthCtx, key, e, opts)
+	go s.fill(synthCtx, key, e, opts)
 	return s.await(ctx, key, e, false)
 }
 
-// synthesize runs the synthesis backing a cache entry and publishes the
-// result. It runs detached from any single request context: synthCtx is
+// fill populates an in-flight cache entry: first from the persistent store
+// when one is attached, otherwise by running the synthesis, and publishes
+// the result. It runs detached from any single request context: synthCtx is
 // cancelled only when every waiter has abandoned the entry. A panic deep
 // in the synthesis stack is converted into an ErrSynthesis so one poisoned
 // request cannot take the server down or hang the entry's waiters.
-func (s *Service) synthesize(synthCtx context.Context, key string, e *cacheEntry, opts Options) {
+func (s *Service) fill(synthCtx context.Context, key string, e *cacheEntry, opts Options) {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st != nil && s.fillFromStore(st, key, e) {
+		e.cancel()
+		return
+	}
+
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
 	var p *Protocol
 	var err error
 	func() {
@@ -139,6 +176,12 @@ func (s *Service) synthesize(synthCtx context.Context, key string, e *cacheEntry
 		}()
 		p, err = Synthesize(synthCtx, opts)
 	}()
+	if st != nil && err == nil && p != nil {
+		// Persist before publishing so that by the time any request has
+		// been answered the protocol is durable (and the stats already
+		// reflect the write) — writes are small compared to SAT solving.
+		s.writeBack(st, key, p)
+	}
 	s.mu.Lock()
 	e.p, e.err = p, err
 	if err != nil || p == nil {
@@ -157,7 +200,9 @@ func (s *Service) synthesize(synthCtx context.Context, key string, e *cacheEntry
 }
 
 // await blocks until the entry completes or ctx is cancelled. hit reports
-// whether the caller joined existing work rather than initiating it.
+// whether the caller joined existing work rather than initiating it; an
+// entry filled from the persistent store upgrades the initiator's result to
+// a cache hit too, since no synthesis ran on its behalf.
 func (s *Service) await(ctx context.Context, key string, e *cacheEntry, hit bool) (*Protocol, bool, error) {
 	select {
 	case <-e.ready:
@@ -166,6 +211,7 @@ func (s *Service) await(ctx context.Context, key string, e *cacheEntry, hit bool
 		if e.err != nil {
 			s.failed++
 		}
+		hit = hit || e.fromDisk
 		s.mu.Unlock()
 		return e.p, hit, e.err
 	case <-ctx.Done():
@@ -222,16 +268,21 @@ func (s *Service) EstimateProtocol(ctx context.Context, p *Protocol, eo Estimate
 	return p.Estimate(ctx, eo)
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache and store counters.
 func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ServiceStats{
-		Entries:   len(s.entries),
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Coalesced: s.coalesced,
-		Failed:    s.failed,
-		Workers:   s.workers,
+		Entries:       len(s.entries),
+		Hits:          s.hits,
+		Misses:        s.misses,
+		Coalesced:     s.coalesced,
+		Failed:        s.failed,
+		Workers:       s.workers,
+		DiskHits:      s.diskHits,
+		DiskMisses:    s.diskMisses,
+		StoreWrites:   s.storeWrites,
+		WriteFailures: s.writeFailures,
+		Preloaded:     s.preloaded,
 	}
 }

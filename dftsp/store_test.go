@@ -1,0 +1,214 @@
+package dftsp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStoreSurvivesServiceRestart is the heart of the persistent store: a
+// protocol synthesized by one service is served by a brand-new service over
+// the same directory from a disk read, with the SAT solver never invoked
+// (Misses counts exactly the syntheses that ran).
+func TestStoreSurvivesServiceRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Code: "Steane"}
+
+	s1 := NewService(2)
+	if err := s1.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	p1, hit, err := s1.Protocol(bg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first ever request reported a cache hit")
+	}
+	st := s1.Stats()
+	if st.Misses != 1 || st.StoreWrites != 1 || st.DiskMisses != 1 || st.DiskHits != 0 {
+		t.Fatalf("after first synthesis: %+v", st)
+	}
+
+	// "Restart": a fresh service, same directory, no warm start — the
+	// lookup must fall through memory to disk and stop there.
+	s2 := NewService(2)
+	if err := s2.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	p2, hit, err := s2.Protocol(bg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("restarted service did not report a cache hit")
+	}
+	if p2.Summary() != p1.Summary() {
+		t.Fatalf("disk served a different protocol: %q vs %q", p2.Summary(), p1.Summary())
+	}
+	st = s2.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("restarted service ran %d syntheses, want 0: %+v", st.Misses, st)
+	}
+	if st.DiskHits != 1 || st.DiskMisses != 0 || st.StoreWrites != 0 {
+		t.Fatalf("restarted service stats: %+v", st)
+	}
+
+	// The disk hit was promoted into memory: a third request is a plain
+	// memory hit with no further disk traffic.
+	if _, hit, err = s2.Protocol(bg, opts); err != nil || !hit {
+		t.Fatalf("memory promotion failed: hit=%v err=%v", hit, err)
+	}
+	st = s2.Stats()
+	if st.Hits != 1 || st.DiskHits != 1 {
+		t.Fatalf("after third request: %+v", st)
+	}
+}
+
+func TestWarmStartPreloadsTheWholeStore(t *testing.T) {
+	dir := t.TempDir()
+
+	seed := NewService(2)
+	if err := seed.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Steane", "Shor"} {
+		if _, _, err := seed.Protocol(bg, Options{Code: name}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	s := NewService(2)
+	if err := s.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, skipped, err := s.WarmStart(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 || skipped != 0 {
+		t.Fatalf("WarmStart = (%d, %d), want (2, 0)", loaded, skipped)
+	}
+
+	// Both protocols are now memory hits; no disk probe, no synthesis.
+	for _, name := range []string{"Steane", "Shor"} {
+		if _, hit, err := s.Protocol(bg, Options{Code: name}); err != nil || !hit {
+			t.Fatalf("%s after warm start: hit=%v err=%v", name, hit, err)
+		}
+	}
+	st := s.Stats()
+	if st.Preloaded != 2 || st.Hits != 2 || st.Misses != 0 || st.DiskHits != 0 {
+		t.Fatalf("warm-started stats: %+v", st)
+	}
+
+	// Corrupt files are skipped, not fatal, and do not abort the preload.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, entries[0].Name()), []byte(`{"format":"dftsp-protocol","version":1,"key":"x"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewService(2)
+	if err := s3.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, skipped, err = s3.WarmStart(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 || skipped != 1 {
+		t.Fatalf("WarmStart over a half-corrupt store = (%d, %d), want (1, 1)", loaded, skipped)
+	}
+}
+
+func TestProtocolsListsMemoryAndDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := NewService(2)
+	if err := s1.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.Protocol(bg, Options{Code: "Steane"}); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := s1.Protocols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || !infos[0].InMemory || !infos[0].OnDisk {
+		t.Fatalf("infos = %+v, want one entry in memory and on disk", infos)
+	}
+	if infos[0].Code != "Steane" || infos[0].Params != "[[7,1,3]]" {
+		t.Fatalf("infos[0] = %+v", infos[0])
+	}
+
+	// A fresh service over the same store sees it on disk only.
+	s2 := NewService(2)
+	if err := s2.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	infos, err = s2.Protocols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].InMemory || !infos[0].OnDisk {
+		t.Fatalf("infos = %+v, want one disk-only entry", infos)
+	}
+
+	// Memory-only service: listing works without a store.
+	s3 := NewService(2)
+	if _, _, err := s3.Protocol(bg, Options{Code: "Steane"}); err != nil {
+		t.Fatal(err)
+	}
+	infos, err = s3.Protocols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || !infos[0].InMemory || infos[0].OnDisk {
+		t.Fatalf("infos = %+v, want one memory-only entry", infos)
+	}
+}
+
+func TestAttachStoreRejectsDoubleAttach(t *testing.T) {
+	s := NewService(2)
+	if err := s.AttachStore(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttachStore(t.TempDir()); err == nil {
+		t.Fatal("second AttachStore succeeded")
+	}
+	if s.StoreDir() == "" {
+		t.Fatal("StoreDir empty after attach")
+	}
+}
+
+func TestCanonicalCodeNamesShareOneStoreKey(t *testing.T) {
+	// "steane" and "Steane" canonicalize to the same key, so a store
+	// pre-warmed under one spelling serves the other without synthesis.
+	k1, err := Options{Code: "Steane"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Options{Code: "steane"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("keys differ: %q vs %q", k1, k2)
+	}
+	k3, err := Options{Code: "11-1-3"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4, err := Options{Code: "[[11,1,3]]"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 != k4 {
+		t.Fatalf("slug key %q != exact key %q", k3, k4)
+	}
+	if _, err := (Options{Code: "NoSuchCode"}).Key(); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}

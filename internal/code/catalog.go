@@ -3,6 +3,7 @@ package code
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/f2"
 )
@@ -238,16 +239,67 @@ func Catalog() []*CSS {
 	}
 }
 
-// ByName returns the catalog code with the given name, or an error listing
-// the available names.
-func ByName(name string) (*CSS, error) {
-	for _, c := range Catalog() {
-		if c.Name == name {
-			return c, nil
+// Slug returns the canonical, case-insensitive, filesystem- and URL-safe
+// form of a code name: lowercased, with every maximal run of
+// non-alphanumeric characters collapsed into a single '-' and leading or
+// trailing dashes trimmed. Examples: "Steane" → "steane",
+// "[[11,1,3]]" → "11-1-3", "Surface_5" → "surface-5". Two catalog names are
+// considered the same code exactly when their slugs are equal, which is what
+// lets user-facing surfaces (CLIs, HTTP requests) accept relaxed spellings
+// while cache and store keys stay canonical.
+func Slug(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	dash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if dash && sb.Len() > 0 {
+				sb.WriteByte('-')
+			}
+			dash = false
+			sb.WriteRune(r)
+		default:
+			dash = true
 		}
 	}
+	return sb.String()
+}
+
+// CanonicalName resolves a relaxed code spelling to the exact catalog name:
+// either an exact match or the unique catalog code with the same Slug
+// (catalog slugs are unique, so at most one entry can match either way).
+// It reports ok = false when no catalog code matches.
+func CanonicalName(name string) (canonical string, ok bool) {
+	if c := resolve(Catalog(), name); c != nil {
+		return c.Name, true
+	}
+	return "", false
+}
+
+// resolve finds the catalog entry matching name exactly or by slug;
+// building the catalog is the expensive part, so callers construct it once
+// and one pass decides.
+func resolve(catalog []*CSS, name string) *CSS {
+	want := Slug(name)
+	for _, c := range catalog {
+		if c.Name == name || (want != "" && Slug(c.Name) == want) {
+			return c
+		}
+	}
+	return nil
+}
+
+// ByName returns the catalog code with the given name, or an error listing
+// the available names. Besides exact catalog names it accepts any spelling
+// with the same canonical Slug, e.g. "steane" or "11-1-3".
+func ByName(name string) (*CSS, error) {
+	catalog := Catalog()
+	if c := resolve(catalog, name); c != nil {
+		return c, nil
+	}
 	var names []string
-	for _, c := range Catalog() {
+	for _, c := range catalog {
 		names = append(names, c.Name)
 	}
 	sort.Strings(names)

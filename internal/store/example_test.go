@@ -1,0 +1,57 @@
+package store_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/dftsp"
+	"repro/internal/store"
+)
+
+// ExampleStore_roundtrip synthesizes a protocol once, persists it, and
+// reads it back: the decoded protocol is the same protocol, and the store
+// file is addressed purely by the canonical options key.
+func ExampleStore_roundtrip() {
+	dir, err := os.MkdirTemp("", "dftsp-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := dftsp.Options{Code: "Steane"}
+	p, err := dftsp.Synthesize(context.Background(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := opts.Key()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Put(store.Meta{Key: key}, p.Core); err != nil {
+		log.Fatal(err)
+	}
+
+	decoded, meta, err := st.Get(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(meta.Code, meta.Params)
+	fmt.Println("same protocol:", decoded.String() == p.Core.String())
+
+	entries, err := st.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stored entries:", len(entries))
+	// Output:
+	// Steane [[7,1,3]]
+	// same protocol: true
+	// stored entries: 1
+}

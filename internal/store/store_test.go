@@ -1,0 +1,185 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/dftsp"
+	"repro/internal/store"
+)
+
+// synthesize builds the Steane protocol once per test binary; every test
+// that needs a real synthesized protocol shares it read-only.
+func synthesize(t *testing.T) *dftsp.Protocol {
+	t.Helper()
+	p, err := dftsp.Synthesize(context.Background(), dftsp.Options{Code: "Steane"})
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	return p
+}
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPutGetRoundTripsASynthesizedProtocol(t *testing.T) {
+	p := synthesize(t)
+	st := openStore(t)
+	key, err := p.Options.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.Put(store.Meta{Key: key}, p.Core); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, meta, err := st.Get(key)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if meta.Key != key || meta.Code != "Steane" || meta.Params != "[[7,1,3]]" {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if got.String() != p.Core.String() {
+		t.Fatalf("decoded summary %q != original %q", got.String(), p.Core.String())
+	}
+
+	// The decoded protocol must still be a working protocol, not just a
+	// similar-looking one: the exhaustive single-fault certificate is the
+	// strongest semantic equality check available.
+	dp := &dftsp.Protocol{Core: got, Options: p.Options}
+	if err := dp.Certify(); err != nil {
+		t.Fatalf("decoded protocol fails the FT certificate: %v", err)
+	}
+
+	// Re-encoding the decoded protocol reproduces the file byte for byte.
+	first, err := store.Encode(store.Meta{Key: key}, p.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := store.Encode(store.Meta{Key: key}, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("encode → decode → encode is not byte-stable")
+	}
+}
+
+func TestGetMissingKeyReturnsErrNotFound(t *testing.T) {
+	st := openStore(t)
+	_, _, err := st.Get("code:Steane|nope")
+	if !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutOverwritesAndDeleteRemoves(t *testing.T) {
+	p := synthesize(t)
+	st := openStore(t)
+	if err := st.Put(store.Meta{Key: "k"}, p.Core); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(store.Meta{Key: "k"}, p.Core); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("len = %d, %v, want 1", n, err)
+	}
+	if err := st.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get("k"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("after delete: %v, want ErrNotFound", err)
+	}
+	if err := st.Delete("k"); err != nil {
+		t.Fatalf("deleting a missing key must be a no-op, got %v", err)
+	}
+}
+
+func TestListReportsHeadersWithoutDecoding(t *testing.T) {
+	p := synthesize(t)
+	st := openStore(t)
+	for _, key := range []string{"key-b", "key-a"} {
+		if err := st.Put(store.Meta{Key: key}, p.Core); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-store files are ignored.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "README.txt"), []byte("ops notes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt entry is skipped by List, not fatal to it.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "feedbeef.dfp"), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A version-incompatible entry parses but is not servable by this
+	// build, so List must not advertise it either.
+	future := `{"format":"dftsp-protocol","version":99,"key":"key-c","code":"Steane","params":"[[7,1,3]]","checksum":"sha256:00"}` + "\n{}\n"
+	if err := os.WriteFile(filepath.Join(st.Dir(), "cafecafe.dfp"), []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("listed %d entries, want 2: %+v", len(entries), entries)
+	}
+	if entries[0].Key != "key-a" || entries[1].Key != "key-b" {
+		t.Fatalf("entries not sorted by key: %+v", entries)
+	}
+	for _, e := range entries {
+		if e.Code != "Steane" || e.Params != "[[7,1,3]]" || e.Size <= 0 {
+			t.Fatalf("entry = %+v", e)
+		}
+	}
+}
+
+func TestGetRejectsAFileStoredUnderTheWrongKey(t *testing.T) {
+	p := synthesize(t)
+	st := openStore(t)
+	if err := st.Put(store.Meta{Key: "real-key"}, p.Core); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an operator copying a file onto another key's address.
+	data, err := os.ReadFile(filepath.Join(st.Dir(), store.Filename("real-key")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(st.Dir(), store.Filename("other-key")), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get("other-key"); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFilenameIsDeterministicAndSafe(t *testing.T) {
+	key := `custom:110,011/101|prep=heu,budget=0|verif=opt,limit=0|flagall=false`
+	a, b := store.Filename(key), store.Filename(key)
+	if a != b {
+		t.Fatalf("Filename is not deterministic: %q vs %q", a, b)
+	}
+	if !strings.HasSuffix(a, ".dfp") {
+		t.Fatalf("missing extension: %q", a)
+	}
+	if strings.ContainsAny(strings.TrimSuffix(a, ".dfp"), "/\\:|,") {
+		t.Fatalf("unsafe filename %q", a)
+	}
+	if store.Filename("another key") == a {
+		t.Fatal("distinct keys collide")
+	}
+}
