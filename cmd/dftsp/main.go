@@ -11,6 +11,7 @@
 //	dftsp -code Surface -qasm surface.qasm
 //	dftsp -hx 1110000,0111000 -hz ...   # custom code from check matrices
 //	dftsp -code Steane -rate 1e-3 -shots 100000 -workers 8
+//	dftsp -code Steane -rate 1e-2 -target-rse 0.05   # adaptive shot count
 package main
 
 import (
@@ -38,6 +39,8 @@ func main() {
 		rate     = flag.Float64("rate", 0, "if > 0, estimate the logical error rate at this physical rate")
 		shots    = flag.Int("shots", 0, "if > 0, add a direct Monte-Carlo cross-check with this many shots")
 		workers  = flag.Int("workers", 0, "Monte-Carlo worker count (0: DFTSP_WORKERS or CPU count)")
+		tgtRSE   = flag.Float64("target-rse", 0, "if > 0, sample adaptively until this relative standard error (overrides -shots)")
+		maxShots = flag.Int("max-shots", 0, "adaptive sampling cap per rate (0: 10,000,000)")
 	)
 	flag.Parse()
 
@@ -76,9 +79,14 @@ func main() {
 
 	if *rate > 0 {
 		res, err := p.Estimate(ctx, dftsp.EstimateOptions{
-			Rates:   []float64{*rate},
-			MCShots: *shots,
-			Workers: *workers,
+			Rates:     []float64{*rate},
+			MCShots:   *shots,
+			TargetRSE: *tgtRSE,
+			MaxShots:  *maxShots,
+			Workers:   *workers,
+			// The user asked for exactly this rate, so never let the
+			// adaptive mc_min_rate floor skip it.
+			MCMinRate: *rate,
 		})
 		if err != nil {
 			fail(err)
@@ -86,8 +94,9 @@ func main() {
 		pt := res.Points[0]
 		fmt.Printf("logical error rate at p=%g: %.3g (N=%d locations, f2=%.4f)\n",
 			pt.P, pt.PL, res.Locations, res.F[2])
-		if *shots > 0 {
-			fmt.Printf("Monte-Carlo cross-check at p=%g: %.3g (%d shots)\n", pt.P, pt.MC, *shots)
+		if pt.Shots > 0 {
+			fmt.Printf("Monte-Carlo cross-check at p=%g: %.3g (%d shots, rse=%.3g, 95%% CI [%.3g, %.3g])\n",
+				pt.P, pt.MC, pt.Shots, pt.RSE, pt.CILo, pt.CIHi)
 		}
 	}
 

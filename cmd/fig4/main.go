@@ -6,12 +6,15 @@
 //
 // Output is CSV: series,p,pL. The "Linear" series is the pL = p reference
 // line of the figure. Use -mcshots to add direct Monte-Carlo cross-check
-// rows at the largest rates.
+// rows at the largest rates with a fixed budget, or -target-rse to sample
+// each of those points adaptively until the requested relative standard
+// error (capped by -max-shots).
 //
 // Usage:
 //
 //	fig4 > fig4.csv
 //	fig4 -codes Steane,Carbon -samples 50000 -mcshots 20000
+//	fig4 -codes Steane -target-rse 0.05
 package main
 
 import (
@@ -33,6 +36,8 @@ func main() {
 		maxW      = flag.Int("maxw", 3, "highest stratified fault order")
 		points    = flag.Int("points", 13, "grid points per decade span")
 		mcShots   = flag.Int("mcshots", 0, "if > 0, add Monte-Carlo cross-check rows at p >= 1e-2")
+		tgtRSE    = flag.Float64("target-rse", 0, "if > 0, sample MC rows adaptively to this relative standard error")
+		maxShots  = flag.Int("max-shots", 0, "adaptive sampling cap per rate (0: 10,000,000)")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 	)
 	flag.Parse()
@@ -92,6 +97,8 @@ func main() {
 				MaxOrder:  *maxW,
 				Samples:   *samples,
 				MCShots:   *mcShots,
+				TargetRSE: *tgtRSE,
+				MaxShots:  *maxShots,
 				MCMinRate: mcMinRate,
 				Seed:      *seed + int64(i),
 				// Codes already run concurrently; keep each MC serial.
@@ -107,7 +114,7 @@ func main() {
 				r.lines = append(r.lines, fmt.Sprintf("%s,%.6g,%.6g", series, pt.P, pt.PL))
 			}
 			for _, pt := range res.Points {
-				if *mcShots > 0 && pt.P >= mcMinRate {
+				if pt.Shots > 0 {
 					r.lines = append(r.lines, fmt.Sprintf("%s-MC,%.6g,%.6g", series, pt.P, pt.MC))
 				}
 			}

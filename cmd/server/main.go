@@ -29,6 +29,14 @@
 //	GET  /stats       cache, store and worker-pool counters
 //	GET  /healthz     liveness probe
 //
+// /estimate also accepts adaptive sampling options — "target_rse" (relative
+// standard error to stop at), "max_shots" (per-rate cap, default 1e7) and
+// "mc_min_rate" (adaptive default 1e-2: points that cannot observe a
+// failure would always burn the whole cap) — and every sampled point of
+// the response carries "shots", "rse", "ci_lo" and "ci_hi" (95% Wilson
+// interval) alongside the "mc" estimate, even when those values are
+// legitimately zero; unsampled points carry only "p" and "pl".
+//
 // The /batch response is application/x-ndjson: one JSON event per line,
 // flushed as items progress (queued → synthesizing → done/error; items
 // cancelled while still queued skip synthesizing), each carrying the item

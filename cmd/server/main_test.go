@@ -190,6 +190,36 @@ func TestEstimateEndpoint(t *testing.T) {
 	if status != http.StatusBadRequest {
 		t.Fatalf("bad rate: status %d: %v", status, out)
 	}
+
+	// Negative shot budgets used to silently produce NaN estimates; they
+	// are rejected as bad options before synthesis now.
+	status, out = postJSON(t, ts.URL+"/estimate", `{"options":{"code":"Steane"},"estimate":{"rates":[0.01],"mc_shots":-5}}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("negative mc_shots: status %d: %v", status, out)
+	}
+
+	// Adaptive sampling: the point reports shots, rse and the Wilson CI.
+	body = `{"options":{"code":"Steane"},"estimate":{"rates":[0.05],"max_order":2,"samples":500,"target_rse":0.3,"max_shots":1000000}}`
+	status, out = postJSON(t, ts.URL+"/estimate", body)
+	if status != http.StatusOK {
+		t.Fatalf("adaptive estimate: status %d: %v", status, out)
+	}
+	points, ok = out["points"].([]any)
+	if !ok || len(points) != 1 {
+		t.Fatalf("want 1 adaptive point, got %v", out["points"])
+	}
+	pt = points[0].(map[string]any)
+	shots, _ := pt["shots"].(float64)
+	rse, _ := pt["rse"].(float64)
+	ciLo, hasLo := pt["ci_lo"].(float64)
+	ciHi, hasHi := pt["ci_hi"].(float64)
+	mc, _ := pt["mc"].(float64)
+	if shots <= 0 || rse <= 0 || rse > 0.3 {
+		t.Fatalf("adaptive point missing statistics: %v", pt)
+	}
+	if !hasLo || !hasHi || !(ciLo <= mc && mc <= ciHi) {
+		t.Fatalf("Wilson interval missing or not bracketing: %v", pt)
+	}
 }
 
 func TestEstimateClientDisconnectAbortsWork(t *testing.T) {

@@ -2,6 +2,7 @@ package dftsp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
 	"sync"
@@ -143,6 +144,120 @@ func TestEstimateSteane(t *testing.T) {
 	_, err = p.Estimate(bg, EstimateOptions{Rates: []float64{2}})
 	if !errors.Is(err, ErrBadOptions) {
 		t.Fatalf("rate outside (0,1): err = %v, want ErrBadOptions", err)
+	}
+}
+
+// TestEstimateBadOptionsRegressions pins the estimator bugfix sweep at the
+// facade: inputs that previously produced NaN estimates or fed binomPMF a
+// negative n-w now surface as ErrBadOptions before or during estimation.
+func TestEstimateBadOptionsRegressions(t *testing.T) {
+	p, err := Synthesize(bg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		eo   EstimateOptions
+	}{
+		{"negative mc_shots", EstimateOptions{Rates: []float64{1e-2}, MCShots: -1}},
+		{"negative max_shots", EstimateOptions{Rates: []float64{1e-2}, MaxShots: -1}},
+		{"negative max_shots adaptive", EstimateOptions{Rates: []float64{1e-2}, TargetRSE: 0.1, MaxShots: -1}},
+		{"negative target_rse", EstimateOptions{Rates: []float64{1e-2}, TargetRSE: -0.1}},
+		{"target_rse >= 1", EstimateOptions{Rates: []float64{1e-2}, TargetRSE: 1.5}},
+		{"negative mc_min_rate", EstimateOptions{Rates: []float64{1e-2}, MCMinRate: -1}},
+		{"max_order above locations", EstimateOptions{Rates: []float64{1e-2}, MaxOrder: 10_000, Samples: 10}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := p.Estimate(bg, tc.eo)
+			if !errors.Is(err, ErrBadOptions) {
+				t.Fatalf("err = %v (res %+v), want ErrBadOptions", err, res)
+			}
+		})
+	}
+}
+
+// TestEstimateAdaptive exercises the TargetRSE path end to end: the sampled
+// point must report its shot count, an RSE at or below the target, and a
+// Wilson interval bracketing the estimate.
+func TestEstimateAdaptive(t *testing.T) {
+	p, err := Synthesize(bg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Estimate(bg, EstimateOptions{
+		Rates:     []float64{1e-3, 5e-2},
+		MaxOrder:  2,
+		Samples:   2000,
+		TargetRSE: 0.25,
+		MaxShots:  2_000_000,
+		MCMinRate: 1e-2,
+		Workers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.Points[0], res.Points[1]
+	if lo.Shots != 0 || lo.MC != 0 {
+		t.Fatalf("point below mc_min_rate was sampled: %+v", lo)
+	}
+	if hi.Shots == 0 {
+		t.Fatalf("adaptive point not sampled: %+v", hi)
+	}
+	if hi.RSE <= 0 || hi.RSE > 0.25 {
+		t.Fatalf("adaptive RSE %g, want (0, 0.25]", hi.RSE)
+	}
+	if !(hi.CILo <= hi.MC && hi.MC <= hi.CIHi) {
+		t.Fatalf("Wilson interval [%g, %g] does not bracket %g", hi.CILo, hi.CIHi, hi.MC)
+	}
+}
+
+// TestEstimateAdaptiveMinRateFloor pins the adaptive default of MCMinRate:
+// without an explicit floor, a low-rate point that can never observe a
+// failure must be skipped rather than deterministically burning the whole
+// MaxShots cap.
+func TestEstimateAdaptiveMinRateFloor(t *testing.T) {
+	p, err := Synthesize(bg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Estimate(bg, EstimateOptions{
+		Rates:     []float64{1e-3}, // below the adaptive 1e-2 default floor
+		MaxOrder:  2,
+		Samples:   500,
+		TargetRSE: 0.3,
+		Workers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt := res.Points[0]; pt.Shots != 0 || pt.MC != 0 {
+		t.Fatalf("point below the adaptive floor was sampled: %+v", pt)
+	}
+}
+
+// TestRatePointJSONPresence pins the response contract: a sampled point
+// serializes all five sampling fields even when the values are exactly
+// zero (a clean 10M-shot run), and an unsampled point serializes none.
+func TestRatePointJSONPresence(t *testing.T) {
+	sampled, err := json.Marshal(RatePoint{P: 1e-2, PL: 1e-4, Shots: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"mc":0`, `"shots":1000`, `"rse":0`, `"ci_lo":0`, `"ci_hi":0`} {
+		if !strings.Contains(string(sampled), field) {
+			t.Fatalf("sampled zero-failure point %s lacks %s", sampled, field)
+		}
+	}
+	unsampled, err := json.Marshal(RatePoint{P: 1e-4, PL: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"mc", "shots", "rse", "ci_lo", "ci_hi"} {
+		if strings.Contains(string(unsampled), field) {
+			t.Fatalf("unsampled point %s carries %q", unsampled, field)
+		}
 	}
 }
 

@@ -2,6 +2,8 @@ package dftsp
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"math"
 	"math/rand"
 
@@ -27,8 +29,26 @@ type EstimateOptions struct {
 
 	// MCMinRate restricts the Monte-Carlo cross-check to rates >= this
 	// value (direct sampling resolves nothing at tiny physical rates).
-	// 0 checks every requested rate.
+	// In fixed-budget mode 0 checks every requested rate. In adaptive mode
+	// (TargetRSE > 0) 0 selects 1e-2: a rate whose logical error
+	// probability is far below 1/MaxShots can never observe a failure, so
+	// the RSE stopping rule never fires and every such point would burn
+	// the full MaxShots cap — across a default 13-point grid that is over
+	// 10^8 wasted shots per request. Pass an explicit tiny positive value
+	// (e.g. 1e-300) to adaptively sample every rate anyway.
 	MCMinRate float64 `json:"mc_min_rate,omitempty"`
+
+	// TargetRSE, when > 0, switches the Monte-Carlo cross-check to
+	// adaptive mode: sampling at each rate continues in chunks until the
+	// relative standard error of the estimate drops to this value or
+	// MaxShots is reached, whichever comes first. Must lie in (0, 1).
+	// Adaptive points report their shot count, RSE and Wilson confidence
+	// interval on the returned RatePoints.
+	TargetRSE float64 `json:"target_rse,omitempty"`
+
+	// MaxShots caps adaptive sampling per rate. 0 selects 10,000,000 when
+	// TargetRSE > 0; ignored otherwise.
+	MaxShots int `json:"max_shots,omitempty"`
 
 	// Seed seeds all sampling. 0 selects 1, so results are reproducible by
 	// default.
@@ -52,6 +72,14 @@ func (eo EstimateOptions) withDefaults() EstimateOptions {
 	if eo.Workers <= 0 {
 		eo.Workers = sim.DefaultWorkers()
 	}
+	if eo.TargetRSE > 0 {
+		if eo.MaxShots <= 0 {
+			eo.MaxShots = 10_000_000
+		}
+		if eo.MCMinRate == 0 {
+			eo.MCMinRate = 1e-2
+		}
+	}
 	if len(eo.Rates) == 0 {
 		// The paper's Fig. 4 grid; the arguments are known-valid constants.
 		eo.Rates, _ = LogGrid(1e-4, 1e-1, 13)
@@ -59,11 +87,58 @@ func (eo EstimateOptions) withDefaults() EstimateOptions {
 	return eo
 }
 
-// RatePoint is one evaluated point of the logical error-rate curve.
+// RatePoint is one evaluated point of the logical error-rate curve. The
+// Monte-Carlo fields are populated whenever sampling ran at this point
+// (MCShots > 0 or TargetRSE > 0, and P >= MCMinRate).
 type RatePoint struct {
 	P  float64 `json:"p"`            // physical error rate
 	PL float64 `json:"pl"`           // stratified logical error rate (upper bound)
 	MC float64 `json:"mc,omitempty"` // direct Monte-Carlo estimate, when requested
+
+	// Shots is the number of Monte-Carlo shots actually executed at this
+	// point (less than MaxShots when an adaptive run hit TargetRSE early).
+	Shots int `json:"shots,omitempty"`
+
+	// RSE is the relative standard error of MC; 0 when no failure was
+	// observed (the RSE is undefined without failures).
+	RSE float64 `json:"rse,omitempty"`
+
+	// CILo and CIHi are the 95% Wilson confidence interval for MC.
+	CILo float64 `json:"ci_lo,omitempty"`
+	CIHi float64 `json:"ci_hi,omitempty"`
+}
+
+// MarshalJSON serializes the point so that the presence of the sampling
+// statistics tracks whether sampling ran, not whether the values happen to
+// be zero: a sampled point (Shots > 0) always carries mc, shots, rse,
+// ci_lo and ci_hi — a 10M-shot run with zero observed failures legitimately
+// has mc = rse = ci_lo = 0, and plain omitempty would silently drop those
+// fields and make the point look unsampled — while an unsampled point
+// carries only p and pl.
+func (pt RatePoint) MarshalJSON() ([]byte, error) {
+	type bare struct {
+		P  float64 `json:"p"`
+		PL float64 `json:"pl"`
+	}
+	if pt.Shots == 0 {
+		return json.Marshal(bare{P: pt.P, PL: pt.PL})
+	}
+	type sampled struct {
+		bare
+		MC    float64 `json:"mc"`
+		Shots int     `json:"shots"`
+		RSE   float64 `json:"rse"`
+		CILo  float64 `json:"ci_lo"`
+		CIHi  float64 `json:"ci_hi"`
+	}
+	return json.Marshal(sampled{
+		bare:  bare{P: pt.P, PL: pt.PL},
+		MC:    pt.MC,
+		Shots: pt.Shots,
+		RSE:   pt.RSE,
+		CILo:  pt.CILo,
+		CIHi:  pt.CIHi,
+	})
 }
 
 // EstimateResult holds a logical error-rate estimate.
@@ -88,41 +163,80 @@ func (eo EstimateOptions) Validate() error {
 			return badOptions("physical rate %g outside (0,1)", r)
 		}
 	}
+	if eo.MCShots < 0 {
+		return badOptions("mc_shots %d must be >= 0", eo.MCShots)
+	}
+	if eo.MaxShots < 0 {
+		return badOptions("max_shots %d must be >= 0", eo.MaxShots)
+	}
+	if eo.TargetRSE < 0 || eo.TargetRSE >= 1 {
+		return badOptions("target_rse %g outside [0,1)", eo.TargetRSE)
+	}
+	if eo.MCMinRate < 0 {
+		return badOptions("mc_min_rate %g must be >= 0", eo.MCMinRate)
+	}
 	return nil
 }
 
 // Estimate measures the protocol's logical error rate under the paper's
 // circuit-level depolarizing model (E1_1), using the stratified fault-order
-// estimator for the curve and, when MCShots > 0, direct Monte-Carlo sampling
-// fanned over a bounded worker pool as a cross-check.
+// estimator for the curve and, when MCShots > 0 or TargetRSE > 0, direct
+// Monte-Carlo sampling on the compiled allocation-free shot engine as a
+// cross-check. With TargetRSE set, each sampled point runs adaptively until
+// its relative standard error reaches the target or MaxShots is exhausted,
+// and reports shots, RSE and a 95% Wilson confidence interval.
 //
 // Cancelling ctx stops the fault enumeration and every Monte-Carlo worker
 // promptly; the returned error then matches context.Canceled /
 // context.DeadlineExceeded via errors.Is.
 func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateResult, error) {
-	eo = eo.withDefaults()
+	// Validate the options as given, before withDefaults rewrites empty
+	// fields — otherwise a negative MaxShots in adaptive mode would be
+	// silently replaced by the default instead of rejected.
 	if err := eo.Validate(); err != nil {
 		return EstimateResult{}, err
 	}
+	eo = eo.withDefaults()
 	est := sim.NewEstimator(p.Core)
 	fo, err := est.FaultOrder(ctx, eo.MaxOrder, eo.Samples, rand.New(rand.NewSource(eo.Seed)))
 	if err != nil {
-		return EstimateResult{}, err
+		return EstimateResult{}, estimateError(err)
 	}
 	res := EstimateResult{Locations: fo.N, F: fo.F}
+	adaptive := eo.TargetRSE > 0
 	for i, r := range eo.Rates {
 		pt := RatePoint{P: r, PL: fo.Rate(r)}
-		if eo.MCShots > 0 && r >= eo.MCMinRate {
+		if (eo.MCShots > 0 || adaptive) && r >= eo.MCMinRate {
 			// Offset the seed per point so rates do not share RNG streams.
-			mc, err := est.DirectMCParallel(ctx, r, eo.MCShots, eo.Seed+int64(i+1)*0x51ED270B, eo.Workers)
-			if err != nil {
-				return EstimateResult{}, err
+			seed := eo.Seed + int64(i+1)*0x51ED270B
+			target, budget := 0.0, eo.MCShots
+			if adaptive {
+				target, budget = eo.TargetRSE, eo.MaxShots
 			}
-			pt.MC = mc
+			ar, err := est.DirectMCAdaptive(ctx, r, target, budget, seed, eo.Workers)
+			if err != nil {
+				return EstimateResult{}, estimateError(err)
+			}
+			pt.MC = ar.PL
+			pt.Shots = ar.Shots
+			pt.RSE = ar.RSE
+			pt.CILo, pt.CIHi = ar.CILo, ar.CIHi
 		}
 		res.Points = append(res.Points, pt)
 	}
 	return res, nil
+}
+
+// estimateError maps the simulator's validation sentinels onto the facade
+// taxonomy (ErrBadOptions); everything else — notably context cancellation —
+// passes through unchanged.
+func estimateError(err error) error {
+	for _, sentinel := range []error{sim.ErrBadShots, sim.ErrBadSamples, sim.ErrBadOrder, sim.ErrBadTarget} {
+		if errors.Is(err, sentinel) {
+			return badOptions("%w", err)
+		}
+	}
+	return err
 }
 
 // LogGrid returns points log-spaced rates in [lo, hi] inclusive, the grid

@@ -36,7 +36,10 @@ func main() {
 	rng := rand.New(rand.NewSource(99))
 	est := sim.NewEstimator(proto)
 
-	det := est.DirectMC(*pp, *shots, rng)
+	det, err := est.DirectMC(*pp, *shots, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rus := est.NonDeterministicStats(*pp, *shots, 200, rng)
 
 	fmt.Printf("%s at p = %g (%d shots per scheme)\n\n", cs, *pp, *shots)

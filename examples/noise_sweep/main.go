@@ -43,7 +43,11 @@ func main() {
 		strat := res.Rate(p)
 		mc := "-"
 		if p >= 1e-2 {
-			mc = fmt.Sprintf("%.3g", est.DirectMC(p, 40000, rng))
+			v, err := est.DirectMC(p, 40000, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mc = fmt.Sprintf("%.3g", v)
 		}
 		fmt.Printf("%-10.1e %-12.3g %-12s %-10.3g\n", p, strat, mc, strat/(p*p))
 	}

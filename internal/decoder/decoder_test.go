@@ -77,3 +77,66 @@ func TestDecoderMinimality(t *testing.T) {
 		}
 	}
 }
+
+// TestDenseMatchesLookup pins the dense-array decoder to the reference
+// lookup table: identical corrections for random errors and for every
+// explicit syndrome, on several catalog codes.
+func TestDenseMatchesLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, cs := range []*code.CSS{code.Steane(), code.Hamming15(), code.Surface3()} {
+		lk := NewLookup(cs.Hz)
+		d := NewDense(cs.Hz)
+		if d.Size() != lk.Size() {
+			t.Fatalf("%s: dense size %d != lookup size %d", cs.Name, d.Size(), lk.Size())
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 500; trial++ {
+			e := f2.NewVec(cs.N)
+			for q := 0; q < cs.N; q++ {
+				if rng.Intn(2) == 1 {
+					e.Flip(q)
+				}
+			}
+			if got, want := d.Decode(e), lk.Decode(e); !got.Equal(want) {
+				t.Fatalf("%s: dense decoded %v to %v, lookup to %v", cs.Name, e, got, want)
+			}
+		}
+		for idx := 0; idx < d.Size(); idx++ {
+			s := f2.NewVec(d.Rank())
+			for i := 0; i < d.Rank(); i++ {
+				if idx>>uint(i)&1 == 1 {
+					s.Set(i, true)
+				}
+			}
+			if got, want := d.DecodeSyndrome(s), lk.DecodeSyndrome(s); !got.Equal(want) {
+				t.Fatalf("%s: syndrome %v decoded to %v, lookup to %v", cs.Name, s, got, want)
+			}
+		}
+	}
+}
+
+// TestDenseIndexWords checks the allocation-free word-level primitives used
+// by the compiled simulation engine.
+func TestDenseIndexWords(t *testing.T) {
+	cs := code.Steane()
+	d := NewDense(cs.Hz)
+	e := f2.FromSupport(cs.N, 2, 5)
+	idx := d.Index(e.Words())
+	corr := d.CorrectionWords(idx)
+	c := f2.NewVec(cs.N)
+	for q := 0; q < cs.N; q++ {
+		if corr[q/64]>>(uint(q)%64)&1 == 1 {
+			c.Flip(q)
+		}
+	}
+	if !c.Equal(d.Decode(e)) {
+		t.Fatalf("word-level correction %v != Decode %v", c, d.Decode(e))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = d.CorrectionWords(d.Index(e.Words()))
+	}); allocs != 0 {
+		t.Fatalf("Index/CorrectionWords allocate %.2f per call, want 0", allocs)
+	}
+}

@@ -210,6 +210,13 @@ func (v Vec) Support() []int {
 	return s
 }
 
+// Words exposes the backing bit words of v (little-endian: coordinate i is
+// bit i%64 of word i/64; the tail bits of the last word are zero). It is a
+// view, not a copy — callers must treat it as read-only. It exists so the
+// compiled simulation engine can intern vectors into flat word arrays
+// without per-shot conversions.
+func (v Vec) Words() []uint64 { return v.w }
+
 // FirstOne returns the index of the lowest set bit, or -1 if v is zero.
 func (v Vec) FirstOne() int {
 	for wi, word := range v.w {

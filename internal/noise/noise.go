@@ -82,21 +82,35 @@ func (p *Plan) Next(LocKind) Fault {
 	return f
 }
 
+// The operator menus are built once: OpsFor sits inside the Monte-Carlo
+// shot loop (every fired fault draws from a menu), where a per-call
+// allocation would dominate the profile.
+var (
+	ops1Q   = []Fault{{P1: PX}, {P1: PZ}, {P1: PY}}
+	ops2Q   = makeOps2Q()
+	opsMeas = []Fault{{Flip: true}}
+)
+
+func makeOps2Q() []Fault {
+	out := make([]Fault, 0, 15)
+	for m := 1; m < 16; m++ {
+		out = append(out, Fault{P1: byte(m >> 2), P2: byte(m & 3)})
+	}
+	return out
+}
+
 // OpsFor enumerates the non-trivial fault operators of a location kind:
 // 3 Paulis for one-qubit locations, 15 two-qubit combinations for CNOTs and
-// the single classical flip for measurements.
+// the single classical flip for measurements. The returned slice is shared
+// and must not be modified.
 func OpsFor(kind LocKind) []Fault {
 	switch kind {
 	case Loc1Q:
-		return []Fault{{P1: PX}, {P1: PZ}, {P1: PY}}
+		return ops1Q
 	case Loc2Q:
-		out := make([]Fault, 0, 15)
-		for m := 1; m < 16; m++ {
-			out = append(out, Fault{P1: byte(m >> 2), P2: byte(m & 3)})
-		}
-		return out
+		return ops2Q
 	default:
-		return []Fault{{Flip: true}}
+		return opsMeas
 	}
 }
 

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/noise"
+)
+
+// adaptiveChunk is the number of shots one worker runs between stopping-rule
+// checks: large enough that the per-round synchronization is invisible in
+// the throughput, small enough that an easy target stops within a few
+// thousand shots.
+const adaptiveChunk = 4096
+
+// AdaptiveResult reports an adaptive (or fixed-budget) direct Monte-Carlo
+// estimate together with its statistical quality.
+type AdaptiveResult struct {
+	// PL is the estimated logical error rate Fails/Shots.
+	PL float64
+
+	// Shots and Fails are the executed shot count and observed failures.
+	Shots int
+	Fails int
+
+	// RSE is the relative standard error sqrt((1-PL)/Fails) of the
+	// estimate. It is reported as 0 when Fails == 0 (the RSE is undefined
+	// without failures — inspect Fails).
+	RSE float64
+
+	// CILo and CIHi are the 95% Wilson score confidence interval for PL.
+	CILo, CIHi float64
+
+	// ShotsPerSec is the observed sampling throughput.
+	ShotsPerSec float64
+}
+
+// DirectMCAdaptive estimates the logical error rate at physical rate p by
+// direct Monte-Carlo with an adaptive stopping rule: sampling proceeds in
+// chunks across a bounded worker pool until the relative standard error of
+// the estimate drops to targetRSE or maxShots is reached, whichever comes
+// first. targetRSE == 0 disables the early stop, so exactly maxShots shots
+// run — the fixed-budget DirectMCParallel is this special case.
+//
+// maxShots must be positive (ErrBadShots) and targetRSE in [0, 1)
+// (ErrBadTarget). workers <= 0 selects DefaultWorkers(); worker counts
+// above maxShots are clamped to maxShots. Per-worker RNG streams are
+// derived from seed via the SplitMix64 sequence, so the result is a pure
+// function of (seed, workers, maxShots, targetRSE) on every machine.
+// Cancelling ctx stops every worker promptly and returns ctx.Err().
+func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE float64, maxShots int, seed int64, workers int) (AdaptiveResult, error) {
+	if maxShots <= 0 {
+		return AdaptiveResult{}, fmt.Errorf("%w: %d max shots", ErrBadShots, maxShots)
+	}
+	if targetRSE < 0 || targetRSE >= 1 {
+		return AdaptiveResult{}, fmt.Errorf("%w: %g outside [0,1)", ErrBadTarget, targetRSE)
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > maxShots {
+		workers = maxShots
+	}
+
+	// Per-worker state persists across rounds so every worker consumes one
+	// continuous RNG stream regardless of how many rounds run.
+	type workerState struct {
+		inj  *noise.Depolarizing
+		sh   *Shot
+		fail int
+	}
+	ws := make([]*workerState, workers)
+	sm := splitMix64{state: uint64(seed)}
+	for w := range ws {
+		rng := rand.New(rand.NewSource(int64(sm.next())))
+		st := &workerState{inj: &noise.Depolarizing{P: p, Rng: rng}}
+		if est.prog != nil {
+			st.sh = est.prog.NewShot()
+		}
+		ws[w] = st
+	}
+
+	start := time.Now()
+	shots, fails := 0, 0
+	for shots < maxShots {
+		round := workers * adaptiveChunk
+		if rem := maxShots - shots; round > rem {
+			round = rem
+		}
+		per, extra := round/workers, round%workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			n := per
+			if w < extra {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(st *workerState, n int) {
+				defer wg.Done()
+				count := 0
+				if est.prog != nil {
+					for i := 0; i < n; i++ {
+						if i%ctxPollShots == 0 && ctx.Err() != nil {
+							return
+						}
+						est.prog.Run(st.sh, st.inj)
+						if est.prog.Judge(st.sh) {
+							count++
+						}
+					}
+				} else {
+					for i := 0; i < n; i++ {
+						if i%ctxPollShots == 0 && ctx.Err() != nil {
+							return
+						}
+						if est.Judge(Run(est.P, st.inj)) {
+							count++
+						}
+					}
+				}
+				st.fail = count
+			}(ws[w], n)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return AdaptiveResult{}, err
+		}
+		for _, st := range ws {
+			fails += st.fail
+			st.fail = 0
+		}
+		shots += round
+		if targetRSE > 0 && fails > 0 {
+			if rse := math.Sqrt((1 - float64(fails)/float64(shots)) / float64(fails)); rse <= targetRSE {
+				break
+			}
+		}
+	}
+
+	res := AdaptiveResult{
+		PL:    float64(fails) / float64(shots),
+		Shots: shots,
+		Fails: fails,
+	}
+	if fails > 0 {
+		res.RSE = math.Sqrt((1 - res.PL) / float64(fails))
+	}
+	res.CILo, res.CIHi = Wilson(fails, shots)
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		res.ShotsPerSec = float64(shots) / elapsed
+	}
+	return res, nil
+}
+
+// Wilson returns the 95% Wilson score confidence interval for a binomial
+// proportion with the given failure and trial counts. Unlike the normal
+// approximation it behaves sensibly at zero observed failures, which is the
+// common case for fault-tolerant protocols at low physical rates.
+func Wilson(fails, shots int) (lo, hi float64) {
+	if shots <= 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // Phi^-1(0.975)
+	n := float64(shots)
+	ph := float64(fails) / n
+	denom := 1 + z*z/n
+	center := ph + z*z/(2*n)
+	half := z * math.Sqrt(ph*(1-ph)/n+z*z/(4*n*n))
+	lo = (center - half) / denom
+	hi = (center + half) / denom
+	return math.Max(0, lo), math.Min(1, hi)
+}
+
+// splitMix64 is the SplitMix64 sequence generator (Steele, Lea & Flood,
+// OOPSLA 2014): successive outputs of one seeded sequence provide
+// well-separated per-worker RNG seeds, unlike the previous seed + w*odd
+// scheme whose streams were low-entropy affine shifts of each other.
+type splitMix64 struct{ state uint64 }
+
+func (s *splitMix64) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}

@@ -2,12 +2,35 @@ package sim
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/decoder"
+	"repro/internal/f2"
 	"repro/internal/noise"
+)
+
+// Validation sentinels of the estimation entry points. Callers dispatch
+// with errors.Is; the dftsp facade maps all of them to its ErrBadOptions.
+var (
+	// ErrBadShots rejects non-positive shot counts and caps — the previous
+	// behaviour was a silent 0/0 = NaN estimate.
+	ErrBadShots = errors.New("sim: shot count must be positive")
+
+	// ErrBadSamples rejects non-positive per-order sample counts when any
+	// order >= 2 would be sampled (those strata were NaN before).
+	ErrBadSamples = errors.New("sim: sample count must be positive")
+
+	// ErrBadOrder rejects stratified fault orders outside [0, N]; orders
+	// above the location count fed binomPMF a negative n-w before.
+	ErrBadOrder = errors.New("sim: stratified fault order out of range")
+
+	// ErrBadTarget rejects adaptive relative-standard-error targets
+	// outside [0, 1).
+	ErrBadTarget = errors.New("sim: target RSE out of range")
 )
 
 // Estimator measures logical error rates of a protocol under the E1_1
@@ -16,18 +39,43 @@ import (
 // destructive Z-basis readout; a logical error is registered when the
 // corrected result anticommutes with a logical operator of the prepared
 // eigenstate (a logical Z for |0>_L, flipped by residual X errors).
-type Estimator struct {
-	P    *core.Protocol
-	decX *decoder.Lookup // corrects X errors via Z checks
+//
+// NewEstimator also compiles the protocol into a Program; every sampling
+// entry point (DirectMC, DirectMCParallel, DirectMCAdaptive) runs the
+// compiled allocation-free engine when compilation succeeded and falls back
+// to the interpreted executor otherwise. Both paths are bit-identical for a
+// shared RNG stream.
+// xDecoder is the slice of the decoder API Judge needs; both
+// decoder.Lookup and decoder.Dense satisfy it with bit-identical results.
+type xDecoder interface {
+	Decode(e f2.Vec) f2.Vec
 }
 
-// NewEstimator builds the decoder for the protocol's code.
-func NewEstimator(p *core.Protocol) *Estimator {
-	return &Estimator{
-		P:    p,
-		decX: decoder.NewLookup(p.Code.Hz),
-	}
+type Estimator struct {
+	P    *core.Protocol
+	decX xDecoder // corrects X errors via Z checks
+	prog *Program // compiled shot engine; nil if compilation failed
 }
+
+// NewEstimator builds the decoder for the protocol's code and compiles the
+// shot program. When compilation succeeds Judge shares the program's dense
+// decoder (the minimum-weight table is built exactly once); the interpreted
+// fallback builds a lookup table instead.
+func NewEstimator(p *core.Protocol) *Estimator {
+	est := &Estimator{P: p}
+	if prog, err := Compile(p); err == nil {
+		est.prog = prog
+		est.decX = prog.dec
+	} else {
+		est.decX = decoder.NewLookup(p.Code.Hz)
+	}
+	return est
+}
+
+// Program returns the compiled shot engine, or nil when the protocol
+// exceeded the engine's packing limits and sampling falls back to the
+// interpreted executor.
+func (est *Estimator) Program() *Program { return est.prog }
 
 // Judge applies the perfect EC round to an outcome and reports a logical
 // error in the paper's sense: after lookup-table correction, the residual X
@@ -47,16 +95,31 @@ func (est *Estimator) Judge(out Outcome) bool {
 }
 
 // DirectMC estimates the logical error rate at physical rate p by direct
-// Monte-Carlo sampling with the given number of shots.
-func (est *Estimator) DirectMC(p float64, shots int, rng *rand.Rand) float64 {
+// Monte-Carlo sampling with the given number of shots. shots must be
+// positive; violations return an error wrapping ErrBadShots (the estimate
+// used to silently come out as 0/0 = NaN).
+func (est *Estimator) DirectMC(p float64, shots int, rng *rand.Rand) (float64, error) {
+	if shots <= 0 {
+		return 0, fmt.Errorf("%w: %d shots", ErrBadShots, shots)
+	}
 	fails := 0
-	for s := 0; s < shots; s++ {
-		out := Run(est.P, &noise.Depolarizing{P: p, Rng: rng})
-		if est.Judge(out) {
-			fails++
+	inj := &noise.Depolarizing{P: p, Rng: rng}
+	if est.prog != nil {
+		sh := est.prog.NewShot()
+		for s := 0; s < shots; s++ {
+			est.prog.Run(sh, inj)
+			if est.prog.Judge(sh) {
+				fails++
+			}
+		}
+	} else {
+		for s := 0; s < shots; s++ {
+			if est.Judge(Run(est.P, inj)) {
+				fails++
+			}
 		}
 	}
-	return float64(fails) / float64(shots)
+	return float64(fails) / float64(shots), nil
 }
 
 // FaultOrderResult holds the stratified conditional failure probabilities:
@@ -73,11 +136,26 @@ type FaultOrderResult struct {
 // doubles as the FT certificate — and orders 2..maxW are sampled with the
 // given number of samples per order. Cancelling ctx aborts the enumeration
 // and sampling loops promptly with ctx.Err().
+//
+// maxW must lie in [0, N] where N is the protocol's fault location count
+// (violations wrap ErrBadOrder; orders above N used to feed binomPMF a
+// negative n-w), and samples must be positive whenever maxW >= 2 requires
+// sampling (violations wrap ErrBadSamples; those strata used to come out
+// as 0/0 = NaN).
 func (est *Estimator) FaultOrder(ctx context.Context, maxW, samples int, rng *rand.Rand) (FaultOrderResult, error) {
+	if maxW < 0 {
+		return FaultOrderResult{}, fmt.Errorf("%w: maxW %d < 0", ErrBadOrder, maxW)
+	}
+	if maxW >= 2 && samples <= 0 {
+		return FaultOrderResult{}, fmt.Errorf("%w: %d samples for sampled orders 2..%d", ErrBadSamples, samples, maxW)
+	}
 	counter := &noise.Counter{}
 	Run(est.P, counter)
 	kinds := counter.Kinds
 	n := len(kinds)
+	if maxW > n {
+		return FaultOrderResult{}, fmt.Errorf("%w: maxW %d exceeds the %d fault locations", ErrBadOrder, maxW, n)
+	}
 	res := FaultOrderResult{N: n, F: make([]float64, maxW+1)}
 
 	if maxW >= 1 {

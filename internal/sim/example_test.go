@@ -34,3 +34,27 @@ func ExampleEstimator() {
 	// fault locations: 21
 	// P(logical error | 1 fault) = 0
 }
+
+// ExampleEstimator_DirectMCAdaptive samples the Steane protocol's logical
+// error rate on the compiled shot engine until the estimate reaches a 20%
+// relative standard error, instead of guessing a shot budget up front.
+func ExampleEstimator_DirectMCAdaptive() {
+	proto, err := core.Build(context.Background(), code.Steane(), core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := sim.NewEstimator(proto)
+
+	const targetRSE, maxShots = 0.2, 1_000_000
+	res, err := est.DirectMCAdaptive(context.Background(), 0.05, targetRSE, maxShots, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target met: %v\n", res.RSE > 0 && res.RSE <= targetRSE)
+	fmt.Printf("stopped before the cap: %v\n", res.Shots < maxShots)
+	fmt.Printf("interval brackets the estimate: %v\n", res.CILo <= res.PL && res.PL <= res.CIHi)
+	// Output:
+	// target met: true
+	// stopped before the cap: true
+	// interval brackets the estimate: true
+}

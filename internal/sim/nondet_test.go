@@ -80,7 +80,10 @@ func TestDeterministicMatchesBaselineQuality(t *testing.T) {
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
 	rng := rand.New(rand.NewSource(10))
-	det := est.DirectMC(0.01, 60000, rng)
+	det, err := est.DirectMC(0.01, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	nd := est.NonDeterministicStats(0.01, 30000, 100, rng)
 	if det <= 0 || nd.LogicalRate < 0 {
 		t.Fatalf("degenerate rates: det=%g nd=%g", det, nd.LogicalRate)

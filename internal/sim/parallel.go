@@ -2,13 +2,9 @@ package sim
 
 import (
 	"context"
-	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
-	"sync"
-
-	"repro/internal/noise"
 )
 
 // WorkersEnv is the environment variable consulted by DefaultWorkers for the
@@ -33,52 +29,21 @@ func DefaultWorkers() int {
 const ctxPollShots = 64
 
 // DirectMCParallel is DirectMC fanned out over a bounded worker pool: shots
-// are split across workers, each with an independent RNG stream derived from
-// seed. workers <= 0 selects DefaultWorkers(). The protocol object is shared
-// read-only; every worker owns its frame executor state, so the sampling is
+// are split across workers, each with an independent SplitMix64-derived RNG
+// stream. workers <= 0 selects DefaultWorkers(); worker counts above shots
+// are clamped to shots (one shot per worker — small jobs used to be fully
+// serialized by a clamp to 1). shots must be positive (ErrBadShots; the
+// estimate used to come out as NaN). The protocol object is shared
+// read-only; every worker owns its scratch state, so the sampling is
 // race-free and the result depends only on (seed, workers, shots).
 // Cancelling ctx stops every worker promptly and returns ctx.Err().
+//
+// It is the fixed-budget special case of DirectMCAdaptive (targetRSE 0);
+// use the latter to also get shot counts, RSE and confidence intervals.
 func (est *Estimator) DirectMCParallel(ctx context.Context, p float64, shots int, seed int64, workers int) (float64, error) {
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > shots {
-		workers = 1
-	}
-	per := shots / workers
-	extra := shots % workers
-
-	var wg sync.WaitGroup
-	fails := make([]int, workers)
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
-		wg.Add(1)
-		go func(w, n int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*0x9E3779B9))
-			inj := &noise.Depolarizing{P: p, Rng: rng}
-			count := 0
-			for i := 0; i < n; i++ {
-				if i%ctxPollShots == 0 && ctx.Err() != nil {
-					return
-				}
-				if est.Judge(Run(est.P, inj)) {
-					count++
-				}
-			}
-			fails[w] = count
-		}(w, n)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	res, err := est.DirectMCAdaptive(ctx, p, 0, shots, seed, workers)
+	if err != nil {
 		return 0, err
 	}
-	total := 0
-	for _, f := range fails {
-		total += f
-	}
-	return float64(total) / float64(shots), nil
+	return res.PL, nil
 }

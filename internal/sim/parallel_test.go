@@ -26,7 +26,10 @@ func TestDirectMCParallelAgreesWithSerial(t *testing.T) {
 	est := NewEstimator(p)
 	const pp, shots = 0.03, 40000
 	par := mcp(t, est, pp, shots, 5, 0)
-	ser := est.DirectMC(pp, shots, rand.New(rand.NewSource(6)))
+	ser, err := est.DirectMC(pp, shots, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if par == 0 || ser == 0 {
 		t.Fatalf("no failures sampled: par=%g ser=%g", par, ser)
 	}

@@ -125,7 +125,10 @@ func TestDirectMCAgreesWithStratified(t *testing.T) {
 		t.Fatal(err)
 	}
 	const pp = 0.02
-	mc := est.DirectMC(pp, 30000, rng)
+	mc, err := est.DirectMC(pp, 30000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	strat := res.Rate(pp)
 	if mc == 0 {
 		t.Fatal("MC sampled no failures at p=0.02")
