@@ -12,6 +12,13 @@
 //	dftsp -hx 1110000,0111000 -hz ...   # custom code from check matrices
 //	dftsp -code Steane -rate 1e-3 -shots 100000 -workers 8
 //	dftsp -code Steane -rate 1e-2 -target-rse 0.05   # adaptive shot count
+//	dftsp -code Steane -rate 1e-2 -shots 1000000 -engine scalar
+//	dftsp -code Steane -rate 1e-2 -target-rse 0.02 -cpuprofile rate.pprof
+//
+// -engine selects the Monte-Carlo engine (auto/scalar/batch; auto prefers
+// the 64-lane batch engine and honors DFTSP_ENGINE). -cpuprofile writes a
+// pprof CPU profile covering the whole run — synthesis and sampling — for
+// perf hunts on the estimation hot path.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -41,8 +49,22 @@ func main() {
 		workers  = flag.Int("workers", 0, "Monte-Carlo worker count (0: DFTSP_WORKERS or CPU count)")
 		tgtRSE   = flag.Float64("target-rse", 0, "if > 0, sample adaptively until this relative standard error (overrides -shots)")
 		maxShots = flag.Int("max-shots", 0, "adaptive sampling cap per rate (0: 10,000,000)")
+		engine   = flag.String("engine", "", "Monte-Carlo engine: auto, scalar or batch (default: auto / DFTSP_ENGINE)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := dftsp.Options{
 		Code:            *codeName,
@@ -84,6 +106,7 @@ func main() {
 			TargetRSE: *tgtRSE,
 			MaxShots:  *maxShots,
 			Workers:   *workers,
+			Engine:    *engine,
 			// The user asked for exactly this rate, so never let the
 			// adaptive mc_min_rate floor skip it.
 			MCMinRate: *rate,

@@ -38,6 +38,7 @@ func main() {
 		mcShots   = flag.Int("mcshots", 0, "if > 0, add Monte-Carlo cross-check rows at p >= 1e-2")
 		tgtRSE    = flag.Float64("target-rse", 0, "if > 0, sample MC rows adaptively to this relative standard error")
 		maxShots  = flag.Int("max-shots", 0, "adaptive sampling cap per rate (0: 10,000,000)")
+		engine    = flag.String("engine", "", "Monte-Carlo engine: auto, scalar or batch (default: auto / DFTSP_ENGINE)")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 	)
 	flag.Parse()
@@ -99,6 +100,7 @@ func main() {
 				MCShots:   *mcShots,
 				TargetRSE: *tgtRSE,
 				MaxShots:  *maxShots,
+				Engine:    *engine,
 				MCMinRate: mcMinRate,
 				Seed:      *seed + int64(i),
 				// Codes already run concurrently; keep each MC serial.

@@ -35,7 +35,17 @@
 // failure would always burn the whole cap) — and every sampled point of
 // the response carries "shots", "rse", "ci_lo" and "ci_hi" (95% Wilson
 // interval) alongside the "mc" estimate, even when those values are
-// legitimately zero; unsampled points carry only "p" and "pl".
+// legitimately zero; unsampled points carry only "p" and "pl". The
+// "engine" option selects the Monte-Carlo engine ("auto" default: the
+// 64-lane bit-parallel batch engine when the protocol compiles; "scalar"
+// forces the compiled scalar path; "batch" rejects protocols past the
+// packing limits with 400). The server-wide default is overridable with
+// the DFTSP_ENGINE environment variable.
+//
+// /stats additionally reports estimation throughput: "shots_sampled" is
+// the cumulative Monte-Carlo shot count across all estimation jobs and
+// "shots_per_sec" an exponentially weighted moving average of per-job
+// sampling throughput.
 //
 // The /batch response is application/x-ndjson: one JSON event per line,
 // flushed as items progress (queued → synthesizing → done/error; items

@@ -220,6 +220,30 @@ func TestEstimateEndpoint(t *testing.T) {
 	if !hasLo || !hasHi || !(ciLo <= mc && mc <= ciHi) {
 		t.Fatalf("Wilson interval missing or not bracketing: %v", pt)
 	}
+
+	// Engine selection: an explicit scalar engine serves normally, an
+	// unknown engine is a client error before any synthesis-priced work.
+	body = `{"options":{"code":"Steane"},"estimate":{"rates":[0.05],"max_order":1,"mc_shots":500,"engine":"scalar"}}`
+	if status, out := postJSON(t, ts.URL+"/estimate", body); status != http.StatusOK {
+		t.Fatalf("scalar engine: status %d: %v", status, out)
+	}
+	body = `{"options":{"code":"Steane"},"estimate":{"rates":[0.05],"engine":"warp"}}`
+	if status, out := postJSON(t, ts.URL+"/estimate", body); status != http.StatusBadRequest {
+		t.Fatalf("unknown engine: status %d: %v", status, out)
+	}
+
+	// The estimation volume above must surface as operator-visible
+	// throughput counters on /stats.
+	var stats dftsp.ServiceStats
+	if status := getJSON(t, ts.URL+"/stats", &stats); status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	if stats.ShotsSampled < 500 {
+		t.Fatalf("shots_sampled = %d, want at least the 500-shot fixed budget", stats.ShotsSampled)
+	}
+	if stats.ShotsPerSec <= 0 {
+		t.Fatalf("shots_per_sec = %g, want > 0 after sampling", stats.ShotsPerSec)
+	}
 }
 
 func TestEstimateClientDisconnectAbortsWork(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -57,6 +58,14 @@ type EstimateOptions struct {
 	// Workers bounds the Monte-Carlo worker pool; <= 0 selects
 	// sim.DefaultWorkers() (DFTSP_WORKERS or the CPU count).
 	Workers int `json:"workers,omitempty"`
+
+	// Engine selects the Monte-Carlo engine: "" or "auto" picks the fastest
+	// available (the 64-lane bit-parallel batch engine when the protocol
+	// compiles, else the scalar compiled engine), "scalar" forces the scalar
+	// path, and "batch" requires the batch engine (rejected with
+	// ErrBadOptions when the protocol exceeds its packing limits). The
+	// DFTSP_ENGINE environment variable changes what "auto" resolves to.
+	Engine string `json:"engine,omitempty"`
 }
 
 func (eo EstimateOptions) withDefaults() EstimateOptions {
@@ -152,6 +161,12 @@ type EstimateResult struct {
 
 	// Points is the evaluated curve, one entry per requested rate.
 	Points []RatePoint `json:"points"`
+
+	// MCSeconds is the wall time spent in direct Monte-Carlo sampling
+	// alone — excluding synthesis, compilation and the stratified fault
+	// enumeration — so throughput accounting (Service shots_per_sec)
+	// reflects engine speed, not request overhead. Not serialized.
+	MCSeconds float64 `json:"-"`
 }
 
 // Validate reports whether the estimation options are usable, so callers
@@ -175,14 +190,19 @@ func (eo EstimateOptions) Validate() error {
 	if eo.MCMinRate < 0 {
 		return badOptions("mc_min_rate %g must be >= 0", eo.MCMinRate)
 	}
+	if _, err := sim.ParseEngine(eo.Engine); err != nil {
+		return badOptions("engine %q (want auto, scalar or batch)", eo.Engine)
+	}
 	return nil
 }
 
 // Estimate measures the protocol's logical error rate under the paper's
 // circuit-level depolarizing model (E1_1), using the stratified fault-order
 // estimator for the curve and, when MCShots > 0 or TargetRSE > 0, direct
-// Monte-Carlo sampling on the compiled allocation-free shot engine as a
-// cross-check. With TargetRSE set, each sampled point runs adaptively until
+// Monte-Carlo sampling as a cross-check. Sampling runs on the 64-lane
+// bit-parallel batch engine by default (Engine "auto"), falling back to the
+// compiled scalar engine when the protocol exceeds the packing limits; both
+// are allocation-free in steady state. With TargetRSE set, each sampled point runs adaptively until
 // its relative standard error reaches the target or MaxShots is exhausted,
 // and reports shots, RSE and a 95% Wilson confidence interval.
 //
@@ -198,6 +218,15 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 	}
 	eo = eo.withDefaults()
 	est := sim.NewEstimator(p.Core)
+	// Validated above; only the explicit batch selection can still fail,
+	// when the protocol exceeds the engine's packing limits. "auto" (like
+	// "") keeps the estimator's default so the DFTSP_ENGINE process-wide
+	// override stays in force.
+	if engine, _ := sim.ParseEngine(eo.Engine); engine != sim.EngineAuto {
+		if err := est.SetEngine(engine); err != nil {
+			return EstimateResult{}, badOptions("%w", err)
+		}
+	}
 	fo, err := est.FaultOrder(ctx, eo.MaxOrder, eo.Samples, rand.New(rand.NewSource(eo.Seed)))
 	if err != nil {
 		return EstimateResult{}, estimateError(err)
@@ -213,10 +242,12 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 			if adaptive {
 				target, budget = eo.TargetRSE, eo.MaxShots
 			}
+			mcStart := time.Now()
 			ar, err := est.DirectMCAdaptive(ctx, r, target, budget, seed, eo.Workers)
 			if err != nil {
 				return EstimateResult{}, estimateError(err)
 			}
+			res.MCSeconds += time.Since(mcStart).Seconds()
 			pt.MC = ar.PL
 			pt.Shots = ar.Shots
 			pt.RSE = ar.RSE

@@ -43,6 +43,13 @@ type Service struct {
 	writeFailures uint64
 	preloaded     uint64
 
+	// Estimation throughput: cumulative Monte-Carlo shots served and an
+	// exponentially weighted moving average of per-job shots/sec, so
+	// operators can watch sampling throughput on /stats without scraping
+	// benchmarks.
+	shotsSampled uint64
+	shotsPerSec  float64
+
 	estSem   chan struct{} // bounds concurrent estimation jobs
 	batchSem chan struct{} // bounds concurrent batch synthesis items
 }
@@ -79,6 +86,13 @@ type ServiceStats struct {
 	StoreWrites   uint64 `json:"store_writes"`         // protocols persisted after synthesis
 	WriteFailures uint64 `json:"store_write_failures"` // persist attempts that failed (request still served)
 	Preloaded     uint64 `json:"preloaded"`            // protocols loaded into memory by WarmStart
+
+	// ShotsSampled is the cumulative number of Monte-Carlo shots executed
+	// by estimation jobs; ShotsPerSec is an exponentially weighted moving
+	// average (α = 0.3) of per-job sampling throughput. Both stay zero
+	// until a request actually samples (mc_shots or target_rse set).
+	ShotsSampled uint64  `json:"shots_sampled"`
+	ShotsPerSec  float64 `json:"shots_per_sec"`
 }
 
 // NewService returns a service whose estimation jobs each use the given
@@ -265,7 +279,38 @@ func (s *Service) EstimateProtocol(ctx context.Context, p *Protocol, eo Estimate
 		return EstimateResult{}, ctx.Err()
 	}
 	defer func() { <-s.estSem }()
-	return p.Estimate(ctx, eo)
+	res, err := p.Estimate(ctx, eo)
+	if err == nil {
+		shots := 0
+		for _, pt := range res.Points {
+			shots += pt.Shots
+		}
+		if shots > 0 {
+			// MCSeconds covers the sampling loops alone, so the EWMA
+			// reflects engine throughput rather than synthesis or
+			// fault-enumeration overhead sharing the request.
+			s.recordThroughput(shots, res.MCSeconds)
+		}
+	}
+	return res, err
+}
+
+// recordThroughput folds one estimation job's Monte-Carlo volume into the
+// service's cumulative shot counter and throughput EWMA.
+func (s *Service) recordThroughput(shots int, elapsed float64) {
+	if elapsed <= 0 {
+		return
+	}
+	rate := float64(shots) / elapsed
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shotsSampled += uint64(shots)
+	if s.shotsPerSec == 0 {
+		s.shotsPerSec = rate
+	} else {
+		const alpha = 0.3
+		s.shotsPerSec = alpha*rate + (1-alpha)*s.shotsPerSec
+	}
 }
 
 // Stats returns a snapshot of the cache and store counters.
@@ -284,5 +329,7 @@ func (s *Service) Stats() ServiceStats {
 		StoreWrites:   s.storeWrites,
 		WriteFailures: s.writeFailures,
 		Preloaded:     s.preloaded,
+		ShotsSampled:  s.shotsSampled,
+		ShotsPerSec:   s.shotsPerSec,
 	}
 }

@@ -1,0 +1,20 @@
+package f2
+
+// Transpose64 transposes the 64×64 bit matrix held in w in place: bit j of
+// word i moves to bit i of word j. It is the recursive block-swap algorithm
+// (Hacker's Delight §7-3) — 6 rounds of masked exchanges, no allocation —
+// and is the primitive the batch simulation engine uses to flip between its
+// lane-major frame layout (one word per qubit, one bit per shot) and the
+// qubit-major layout the decoder tables are indexed by.
+func Transpose64(w *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			// Swap the high bit-half of the low row w[k] with the low
+			// bit-half of the high row w[k+j] (LSB = column 0 convention).
+			t := (w[k]>>uint(j) ^ w[k+j]) & m
+			w[k+j] ^= t
+			w[k] ^= t << uint(j)
+		}
+	}
+}

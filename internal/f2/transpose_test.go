@@ -1,0 +1,45 @@
+package f2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTranspose64 checks the in-place bit transpose against the naive
+// per-bit definition on random matrices, and that applying it twice is the
+// identity.
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var a, orig [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		orig = a
+		Transpose64(&a)
+		for i := 0; i < 64; i++ {
+			for j := 0; j < 64; j++ {
+				want := orig[j] >> uint(i) & 1
+				got := a[i] >> uint(j) & 1
+				if want != got {
+					t.Fatalf("trial %d: bit (%d,%d) = %d, want %d", trial, i, j, got, want)
+				}
+			}
+		}
+		Transpose64(&a)
+		if a != orig {
+			t.Fatalf("trial %d: double transpose is not the identity", trial)
+		}
+	}
+}
+
+func BenchmarkTranspose64(b *testing.B) {
+	var a [64]uint64
+	for i := range a {
+		a[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose64(&a)
+	}
+}

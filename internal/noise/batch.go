@@ -1,0 +1,249 @@
+package noise
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 is the SplitMix64 sequence generator (Steele, Lea & Flood,
+// OOPSLA 2014). Successive outputs of one seeded sequence provide
+// well-separated values: the simulator uses it both to derive per-worker
+// RNG seeds and as the raw generator behind the sparse batch fault sampler,
+// where a full math/rand source would dominate the profile.
+type SplitMix64 struct {
+	// State is the current sequence position; seed it once and call Next.
+	State uint64
+}
+
+// Next returns the next value of the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.State += 0x9E3779B97F4A7C15
+	z := s.State
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// Float64 returns a uniform float64 in the half-open interval (0, 1]. The
+// closed upper end is deliberate: the geometric gap sampler takes log(u)
+// and must never see u == 0.
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11+1) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n) for small n. It uses a plain
+// modulus: for the operator menus drawn here (n = 3 and n = 15) the modulo
+// bias is below 1e-18 and invisible next to Monte-Carlo noise.
+func (s *SplitMix64) Intn(n int) int {
+	return int(s.Next() % uint64(n))
+}
+
+// BatchInjector supplies faults for the 64-lane batch engine. One call
+// covers one fault location ("site") across all 64 lanes at once: the
+// returned words carry one bit per lane, restricted to the lanes set in
+// active (lanes outside active must never fault — they have terminated and
+// the site does not exist on their execution path).
+//
+// Per-lane semantics match the scalar Injector exactly: each Draw advances
+// every active lane by one location, in the engine's execution order, so a
+// per-lane fault plan replayed through a BatchPlan hits the same locations
+// as the same plan replayed through the scalar noise.Plan.
+type BatchInjector interface {
+	// Draw1Q returns the X and Z fault components after a preparation or
+	// one-qubit gate: bit l of x (z) is set when lane l suffers a fault
+	// with an X (Z) component; Y faults set both.
+	Draw1Q(active uint64) (x, z uint64)
+
+	// Draw2Q returns the fault components after a CNOT: x1/z1 apply to the
+	// location's first qubit, x2/z2 to the second, mirroring Fault.P1/P2.
+	Draw2Q(active uint64) (x1, z1, x2, z2 uint64)
+
+	// DrawMeas returns the classical measurement-flip mask.
+	DrawMeas(active uint64) (flip uint64)
+}
+
+// SparseSampler is the depolarizing model vectorized for the batch engine:
+// instead of rolling the RNG once per lane per site (64 calls where the
+// scalar engine makes one), it skip-samples the flattened lane×site grid
+// geometrically. Cells are numbered site*64 + lane in execution order; each
+// cell faults independently with probability P, so the gap between faulting
+// cells is geometric and fault-free cells — the overwhelming majority at
+// realistic physical rates — cost zero RNG calls and zero branches beyond
+// one comparison per site.
+//
+// Faults landing on inactive lanes are discarded (thinning), which keeps
+// the per-lane marginal exactly Bernoulli(P) per location regardless of how
+// control flow diverged. A SparseSampler is not safe for concurrent use;
+// give each worker its own, seeded from a SplitMix64 stream.
+type SparseSampler struct {
+	// P is the per-location physical fault probability.
+	P float64
+
+	rng    SplitMix64
+	invLog float64 // 1 / log(1-p); 0 when p == 0
+	base   uint64  // cell index where the next site starts
+	next   uint64  // absolute cell index of the next faulting cell
+}
+
+// NewSparseSampler returns a sampler for physical rate p (in [0, 1)) whose
+// RNG stream is seeded with seed.
+func NewSparseSampler(p float64, seed uint64) *SparseSampler {
+	s := &SparseSampler{P: p, rng: SplitMix64{State: seed}}
+	if p <= 0 {
+		s.next = math.MaxUint64
+		return s
+	}
+	s.invLog = 1 / math.Log1p(-p)
+	s.next = s.gap() - 1 // cell 0 itself faults with probability p
+	return s
+}
+
+// gap draws the geometric inter-fault gap: delta >= 1 with
+// P(delta = k) = (1-p)^(k-1) p.
+func (s *SparseSampler) gap() uint64 {
+	g := math.Log(s.rng.Float64()) * s.invLog // >= 0; Float64 is in (0,1]
+	if g >= math.MaxUint64/2 {
+		return math.MaxUint64 / 2 // effectively never; avoids cast overflow
+	}
+	return 1 + uint64(g)
+}
+
+// site advances the grid by one site (64 cells) and returns the faulted
+// lanes together with their operator draws via the visit callback.
+func (s *SparseSampler) site(active uint64, visit func(lane uint)) {
+	base := s.base
+	s.base += 64
+	for s.next < s.base {
+		lane := uint(s.next - base)
+		s.next += s.gap()
+		if active>>lane&1 == 1 {
+			visit(lane)
+		}
+	}
+}
+
+// Draw1Q implements BatchInjector: uniform {X, Y, Z} on faulted lanes.
+func (s *SparseSampler) Draw1Q(active uint64) (x, z uint64) {
+	s.site(active, func(lane uint) {
+		f := ops1Q[s.rng.Intn(len(ops1Q))]
+		if f.P1&1 != 0 {
+			x |= 1 << lane
+		}
+		if f.P1&2 != 0 {
+			z |= 1 << lane
+		}
+	})
+	return
+}
+
+// Draw2Q implements BatchInjector: uniform over the 15 non-identity
+// two-qubit Paulis on faulted lanes.
+func (s *SparseSampler) Draw2Q(active uint64) (x1, z1, x2, z2 uint64) {
+	s.site(active, func(lane uint) {
+		f := ops2Q[s.rng.Intn(len(ops2Q))]
+		if f.P1&1 != 0 {
+			x1 |= 1 << lane
+		}
+		if f.P1&2 != 0 {
+			z1 |= 1 << lane
+		}
+		if f.P2&1 != 0 {
+			x2 |= 1 << lane
+		}
+		if f.P2&2 != 0 {
+			z2 |= 1 << lane
+		}
+	})
+	return
+}
+
+// DrawMeas implements BatchInjector: a classical flip on faulted lanes.
+func (s *SparseSampler) DrawMeas(active uint64) (flip uint64) {
+	s.site(active, func(lane uint) {
+		flip |= 1 << lane
+	})
+	return
+}
+
+// BatchPlan replays explicit per-lane fault plans through the batch engine,
+// the vectorized twin of Plan: lane l's map is keyed by that lane's own
+// location index, which advances only while the lane is active — exactly
+// the location numbering the scalar executor would see for the same lane.
+// It backs the fixed-fault-mask cross-check that pins the batch engine to
+// the scalar one lane by lane.
+type BatchPlan struct {
+	// Lanes holds one location-indexed fault plan per lane; nil means the
+	// lane runs fault-free.
+	Lanes [64]map[int]Fault
+
+	ctr [64]int
+}
+
+// NewBatchPlan builds a plan from a lane -> (location -> fault) map; lanes
+// outside [0, 64) are ignored.
+func NewBatchPlan(lanes map[int]map[int]Fault) *BatchPlan {
+	p := &BatchPlan{}
+	for lane, plan := range lanes {
+		if lane >= 0 && lane < 64 {
+			p.Lanes[lane] = plan
+		}
+	}
+	return p
+}
+
+// draw advances every active lane's location counter and reports the
+// planned fault, if any, for each.
+func (p *BatchPlan) draw(active uint64, visit func(lane uint, f Fault)) {
+	for a := active; a != 0; a &= a - 1 {
+		lane := uint(bits.TrailingZeros64(a))
+		loc := p.ctr[lane]
+		p.ctr[lane]++
+		if plan := p.Lanes[lane]; plan != nil {
+			if f, ok := plan[loc]; ok && !f.IsTrivial() {
+				visit(lane, f)
+			}
+		}
+	}
+}
+
+// Draw1Q implements BatchInjector.
+func (p *BatchPlan) Draw1Q(active uint64) (x, z uint64) {
+	p.draw(active, func(lane uint, f Fault) {
+		if f.P1&1 != 0 {
+			x |= 1 << lane
+		}
+		if f.P1&2 != 0 {
+			z |= 1 << lane
+		}
+	})
+	return
+}
+
+// Draw2Q implements BatchInjector.
+func (p *BatchPlan) Draw2Q(active uint64) (x1, z1, x2, z2 uint64) {
+	p.draw(active, func(lane uint, f Fault) {
+		if f.P1&1 != 0 {
+			x1 |= 1 << lane
+		}
+		if f.P1&2 != 0 {
+			z1 |= 1 << lane
+		}
+		if f.P2&1 != 0 {
+			x2 |= 1 << lane
+		}
+		if f.P2&2 != 0 {
+			z2 |= 1 << lane
+		}
+	})
+	return
+}
+
+// DrawMeas implements BatchInjector.
+func (p *BatchPlan) DrawMeas(active uint64) (flip uint64) {
+	p.draw(active, func(lane uint, f Fault) {
+		if f.Flip {
+			flip |= 1 << lane
+		}
+	})
+	return
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sync"
 	"time"
@@ -14,7 +15,8 @@ import (
 // adaptiveChunk is the number of shots one worker runs between stopping-rule
 // checks: large enough that the per-round synchronization is invisible in
 // the throughput, small enough that an easy target stops within a few
-// thousand shots.
+// thousand shots. It must be a multiple of 64 so batch-engine workers run
+// whole lane words except in the (clamped) final round.
 const adaptiveChunk = 4096
 
 // AdaptiveResult reports an adaptive (or fixed-budget) direct Monte-Carlo
@@ -49,9 +51,13 @@ type AdaptiveResult struct {
 // maxShots must be positive (ErrBadShots) and targetRSE in [0, 1)
 // (ErrBadTarget). workers <= 0 selects DefaultWorkers(); worker counts
 // above maxShots are clamped to maxShots. Per-worker RNG streams are
-// derived from seed via the SplitMix64 sequence, so the result is a pure
-// function of (seed, workers, maxShots, targetRSE) on every machine.
-// Cancelling ctx stops every worker promptly and returns ctx.Err().
+// derived from seed via the SplitMix64 sequence — scalar workers seed a
+// math/rand source, batch workers a SparseSampler — so the result is a pure
+// function of (seed, workers, maxShots, targetRSE, engine) on every
+// machine. The final round is clamped to the remaining budget (batch
+// workers mask the last lane word), so the reported Shots never exceeds
+// maxShots. Cancelling ctx stops every worker promptly and returns
+// ctx.Err().
 func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE float64, maxShots int, seed int64, workers int) (AdaptiveResult, error) {
 	if maxShots <= 0 {
 		return AdaptiveResult{}, fmt.Errorf("%w: %d max shots", ErrBadShots, maxShots)
@@ -71,15 +77,25 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 	type workerState struct {
 		inj  *noise.Depolarizing
 		sh   *Shot
+		smp  *noise.SparseSampler
+		bs   *BatchShot
 		fail int
 	}
+	useBatch := est.useBatch()
 	ws := make([]*workerState, workers)
-	sm := splitMix64{state: uint64(seed)}
+	sm := noise.SplitMix64{State: uint64(seed)}
 	for w := range ws {
-		rng := rand.New(rand.NewSource(int64(sm.next())))
-		st := &workerState{inj: &noise.Depolarizing{P: p, Rng: rng}}
-		if est.prog != nil {
-			st.sh = est.prog.NewShot()
+		wseed := sm.Next()
+		st := &workerState{}
+		if useBatch {
+			st.smp = noise.NewSparseSampler(p, wseed)
+			st.bs = est.batch.NewShot()
+		} else {
+			rng := rand.New(rand.NewSource(int64(wseed)))
+			st.inj = &noise.Depolarizing{P: p, Rng: rng}
+			if est.prog != nil {
+				st.sh = est.prog.NewShot()
+			}
 		}
 		ws[w] = st
 	}
@@ -105,7 +121,23 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 			go func(st *workerState, n int) {
 				defer wg.Done()
 				count := 0
-				if est.prog != nil {
+				switch {
+				case useBatch:
+					// One 64-lane word per iteration; the final word is
+					// masked to the remainder so exactly n shots run and
+					// the reported total can never exceed maxShots.
+					for i := 0; i < n; i += 64 {
+						if ctx.Err() != nil {
+							return
+						}
+						live := ^uint64(0)
+						if rem := n - i; rem < 64 {
+							live = 1<<uint(rem) - 1
+						}
+						est.batch.Run(st.bs, st.smp, live)
+						count += bits.OnesCount64(est.batch.Judge(st.bs))
+					}
+				case est.prog != nil:
 					for i := 0; i < n; i++ {
 						if i%ctxPollShots == 0 && ctx.Err() != nil {
 							return
@@ -115,7 +147,7 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 							count++
 						}
 					}
-				} else {
+				default:
 					for i := 0; i < n; i++ {
 						if i%ctxPollShots == 0 && ctx.Err() != nil {
 							return
@@ -176,18 +208,4 @@ func Wilson(fails, shots int) (lo, hi float64) {
 	lo = (center - half) / denom
 	hi = (center + half) / denom
 	return math.Max(0, lo), math.Min(1, hi)
-}
-
-// splitMix64 is the SplitMix64 sequence generator (Steele, Lea & Flood,
-// OOPSLA 2014): successive outputs of one seeded sequence provide
-// well-separated per-worker RNG seeds, unlike the previous seed + w*odd
-// scheme whose streams were low-entropy affine shifts of each other.
-type splitMix64 struct{ state uint64 }
-
-func (s *splitMix64) next() uint64 {
-	s.state += 0x9E3779B97F4A7C15
-	z := s.state
-	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
-	z = (z ^ z>>27) * 0x94D049BB133111EB
-	return z ^ z>>31
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/core"
@@ -52,20 +53,27 @@ type xDecoder interface {
 }
 
 type Estimator struct {
-	P    *core.Protocol
-	decX xDecoder // corrects X errors via Z checks
-	prog *Program // compiled shot engine; nil if compilation failed
+	P      *core.Protocol
+	decX   xDecoder // corrects X errors via Z checks
+	prog   *Program // compiled shot engine; nil if compilation failed
+	batch  *Batch   // 64-lane engine over prog; nil if compilation failed
+	engine Engine   // requested engine; resolved by useBatch
 }
 
 // NewEstimator builds the decoder for the protocol's code and compiles the
-// shot program. When compilation succeeds Judge shares the program's dense
-// decoder (the minimum-weight table is built exactly once); the interpreted
-// fallback builds a lookup table instead.
+// shot program plus its 64-lane batch engine. When compilation succeeds
+// Judge shares the program's dense decoder (the minimum-weight table is
+// built exactly once); the interpreted fallback builds a lookup table
+// instead. The sampling engine defaults to DefaultEngine() — batch when
+// available unless DFTSP_ENGINE says otherwise; override with SetEngine.
 func NewEstimator(p *core.Protocol) *Estimator {
-	est := &Estimator{P: p}
+	est := &Estimator{P: p, engine: DefaultEngine()}
 	if prog, err := Compile(p); err == nil {
 		est.prog = prog
 		est.decX = prog.dec
+		if b, err := NewBatch(prog); err == nil {
+			est.batch = b
+		}
 	} else {
 		est.decX = decoder.NewLookup(p.Code.Hz)
 	}
@@ -76,6 +84,10 @@ func NewEstimator(p *core.Protocol) *Estimator {
 // exceeded the engine's packing limits and sampling falls back to the
 // interpreted executor.
 func (est *Estimator) Program() *Program { return est.prog }
+
+// Batch returns the 64-lane bit-parallel engine, or nil when the protocol
+// exceeded the compiled engine's packing limits.
+func (est *Estimator) Batch() *Batch { return est.batch }
 
 // Judge applies the perfect EC round to an outcome and reports a logical
 // error in the paper's sense: after lookup-table correction, the residual X
@@ -97,14 +109,20 @@ func (est *Estimator) Judge(out Outcome) bool {
 // DirectMC estimates the logical error rate at physical rate p by direct
 // Monte-Carlo sampling with the given number of shots. shots must be
 // positive; violations return an error wrapping ErrBadShots (the estimate
-// used to silently come out as 0/0 = NaN).
+// used to silently come out as 0/0 = NaN). On the batch engine the rng only
+// seeds the sampler's SplitMix64 stream; the scalar engines consume it
+// directly.
 func (est *Estimator) DirectMC(p float64, shots int, rng *rand.Rand) (float64, error) {
 	if shots <= 0 {
 		return 0, fmt.Errorf("%w: %d shots", ErrBadShots, shots)
 	}
 	fails := 0
-	inj := &noise.Depolarizing{P: p, Rng: rng}
-	if est.prog != nil {
+	if est.useBatch() {
+		smp := noise.NewSparseSampler(p, rng.Uint64())
+		bs := est.batch.NewShot()
+		fails = est.batch.sample(bs, smp, shots)
+	} else if est.prog != nil {
+		inj := &noise.Depolarizing{P: p, Rng: rng}
 		sh := est.prog.NewShot()
 		for s := 0; s < shots; s++ {
 			est.prog.Run(sh, inj)
@@ -113,6 +131,7 @@ func (est *Estimator) DirectMC(p float64, shots int, rng *rand.Rand) (float64, e
 			}
 		}
 	} else {
+		inj := &noise.Depolarizing{P: p, Rng: rng}
 		for s := 0; s < shots; s++ {
 			if est.Judge(Run(est.P, inj)) {
 				fails++
@@ -120,6 +139,23 @@ func (est *Estimator) DirectMC(p float64, shots int, rng *rand.Rand) (float64, e
 		}
 	}
 	return float64(fails) / float64(shots), nil
+}
+
+// sample runs exactly shots shots in 64-lane words (the final word masked
+// down to the remainder, so the count is exact) and returns the failure
+// count. It is the uncancellable inner loop shared by DirectMC and the
+// adaptive workers.
+func (b *Batch) sample(bs *BatchShot, inj noise.BatchInjector, shots int) int {
+	fails := 0
+	for done := 0; done < shots; done += 64 {
+		live := ^uint64(0)
+		if rem := shots - done; rem < 64 {
+			live = 1<<uint(rem) - 1
+		}
+		b.Run(bs, inj, live)
+		fails += bits.OnesCount64(b.Judge(bs))
+	}
+	return fails
 }
 
 // FaultOrderResult holds the stratified conditional failure probabilities:

