@@ -12,6 +12,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
@@ -192,6 +193,28 @@ func BenchmarkFig4Adaptive(b *testing.B) {
 		}
 		b.ReportMetric(res.ShotsPerSec, "shots/s")
 		b.ReportMetric(float64(res.Shots), "shots")
+	}
+}
+
+// BenchmarkFig4RareEvent measures a complete rare-event adaptive estimate at
+// p = 1e-4 (10% RSE target) — the regime where direct Monte-Carlo needs ~10^9
+// shots per point and the >= 1-fault conditional estimator is the only way a
+// Fig. 4 sweep extends below the direct floor in interactive time.
+func BenchmarkFig4RareEvent(b *testing.B) {
+	p := cachedProtocol(b, code.Steane())
+	est := sim.NewEstimator(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := est.RareEventAdaptive(context.Background(), 1e-4, 0.1, 50_000_000, int64(i+1), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fails == 0 {
+			b.Fatal("rare-event run observed no failures")
+		}
+		b.ReportMetric(res.ShotsPerSec, "shots/s")
+		b.ReportMetric(float64(res.Shots), "shots")
+		b.ReportMetric(res.PL*1e9, "pL·1e9")
 	}
 }
 
@@ -408,11 +431,40 @@ func TestBenchTrajectory(t *testing.T) {
 		CompiledSpeedup float64 `json:"compiled_speedup"`
 		BatchSpeedup    float64 `json:"batch_speedup"`
 	}
+	// rareEntry is the PR 6 time-to-solution record: a full rare-event
+	// adaptive estimate at p=1e-4 to 10% RSE, against the projected cost of
+	// reaching the same precision with direct Monte-Carlo on the measured
+	// batch engine (a direct run needs ~1/(rse²·pL) shots, which at
+	// pL ~ 1e-7 is out of interactive reach — hence projected, not run).
+	type rareEntry struct {
+		Seconds     float64 `json:"seconds"`
+		Shots       int     `json:"shots"`
+		ShotsPerSec float64 `json:"shots_per_sec"`
+		PL          float64 `json:"pl"`
+		RSE         float64 `json:"rse"`
+		EffSamples  float64 `json:"effective_samples"`
+		// DirectShots/DirectSeconds are the projected direct-MC cost of the
+		// same target RSE at the measured batch throughput; Speedup is
+		// DirectSeconds over Seconds.
+		DirectShots   float64 `json:"projected_direct_shots"`
+		DirectSeconds float64 `json:"projected_direct_seconds"`
+		Speedup       float64 `json:"speedup"`
+	}
+	const (
+		rareP   = 1e-4
+		rareRSE = 0.1
+	)
 	result := struct {
-		PR       int            `json:"pr"`
-		Metric   string         `json:"metric"`
-		DirectMC map[string]tri `json:"direct_mc"`
-	}{PR: 5, Metric: "Fig. 4 DirectMC shot loop at p=1e-2", DirectMC: map[string]tri{}}
+		PR        int                  `json:"pr"`
+		Metric    string               `json:"metric"`
+		DirectMC  map[string]tri       `json:"direct_mc"`
+		RareEvent map[string]rareEntry `json:"rare_event"`
+	}{
+		PR:        6,
+		Metric:    "Fig. 4 DirectMC shot loop at p=1e-2; rare-event time-to-solution at p=1e-4, 10% RSE",
+		DirectMC:  map[string]tri{},
+		RareEvent: map[string]rareEntry{},
+	}
 
 	for _, cs := range codes {
 		p, err := core.Build(context.Background(), cs, core.Config{Prep: core.PrepHeuristic, Verif: core.VerifOptimal})
@@ -484,6 +536,30 @@ func TestBenchTrajectory(t *testing.T) {
 			compiled.ShotsPerSec, compiled.ShotsPerSec/baseline.ShotsPerSec,
 			batchEnt.ShotsPerSec, batchEnt.ShotsPerSec/compiled.ShotsPerSec,
 			batchEnt.AllocsPerShot)
+
+		// PR 6: rare-event time-to-solution at p=1e-4. One timed adaptive run
+		// per code; single-worker so the wall-clock figure is scheduling-free.
+		start := time.Now()
+		rr, err := est.RareEventAdaptive(context.Background(), rareP, rareRSE, 100_000_000, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs := time.Since(start).Seconds()
+		directShots := 1 / (rareRSE * rareRSE * rr.PL)
+		directSecs := directShots / batchEnt.ShotsPerSec
+		result.RareEvent[cs.Name] = rareEntry{
+			Seconds:       secs,
+			Shots:         rr.Shots,
+			ShotsPerSec:   rr.ShotsPerSec,
+			PL:            rr.PL,
+			RSE:           rr.RSE,
+			EffSamples:    rr.EffectiveSamples,
+			DirectShots:   directShots,
+			DirectSeconds: directSecs,
+			Speedup:       directSecs / secs,
+		}
+		t.Logf("%s rare-event: pL=%.3g (rse %.3f) in %.2fs / %d shots; projected direct: %.2g shots, %.0fs (%.0fx)",
+			cs.Name, rr.PL, rr.RSE, secs, rr.Shots, directShots, directSecs, directSecs/secs)
 	}
 
 	// Guard the trajectory, not just record it. The committed BENCH_pr5.json
@@ -505,6 +581,20 @@ func TestBenchTrajectory(t *testing.T) {
 		}
 		if r.BatchSpeedup < 2 {
 			t.Errorf("batch %s speedup %.2fx over compiled below the 2x regression floor", cs.Name, r.BatchSpeedup)
+		}
+		// The rare-event estimator's advantage at p=1e-4 is the conditioning
+		// probability's inverse, ~1/(N·p) ~ 10^2-10^3 on these codes; a 10x
+		// floor leaves a wide margin for runner noise while still failing the
+		// build if conditional sampling ever loses its point.
+		re := result.RareEvent[cs.Name]
+		if re.RSE > rareRSE {
+			t.Errorf("rare-event %s stopped at RSE %.3f, above the %.2f target", cs.Name, re.RSE, rareRSE)
+		}
+		if !(re.PL > 0) {
+			t.Errorf("rare-event %s estimated pL = %g, want > 0", cs.Name, re.PL)
+		}
+		if re.Speedup < 10 {
+			t.Errorf("rare-event %s time-to-solution speedup %.1fx below the 10x regression floor", cs.Name, re.Speedup)
 		}
 	}
 

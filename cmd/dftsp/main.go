@@ -13,12 +13,16 @@
 //	dftsp -code Steane -rate 1e-3 -shots 100000 -workers 8
 //	dftsp -code Steane -rate 1e-2 -target-rse 0.05   # adaptive shot count
 //	dftsp -code Steane -rate 1e-2 -shots 1000000 -engine scalar
+//	dftsp -code Steane -rate 1e-5 -target-rse 0.1    # auto → rare-event
 //	dftsp -code Steane -rate 1e-2 -target-rse 0.02 -cpuprofile rate.pprof
 //
 // -engine selects the Monte-Carlo engine (auto/scalar/batch; auto prefers
-// the 64-lane batch engine and honors DFTSP_ENGINE). -cpuprofile writes a
-// pprof CPU profile covering the whole run — synthesis and sampling — for
-// perf hunts on the estimation hot path.
+// the 64-lane batch engine and honors DFTSP_ENGINE). -method selects the
+// sampling method (auto/direct/rare; auto switches to the rare-event
+// >= 1-fault conditional estimator below the crossover rate, which makes
+// tiny physical rates tractable). -cpuprofile writes a pprof CPU profile
+// covering the whole run — synthesis and sampling — for perf hunts on the
+// estimation hot path.
 package main
 
 import (
@@ -50,6 +54,7 @@ func main() {
 		tgtRSE   = flag.Float64("target-rse", 0, "if > 0, sample adaptively until this relative standard error (overrides -shots)")
 		maxShots = flag.Int("max-shots", 0, "adaptive sampling cap per rate (0: 10,000,000)")
 		engine   = flag.String("engine", "", "Monte-Carlo engine: auto, scalar or batch (default: auto / DFTSP_ENGINE)")
+		method   = flag.String("method", "", "Monte-Carlo method: auto, direct or rare (default: auto)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -107,6 +112,7 @@ func main() {
 			MaxShots:  *maxShots,
 			Workers:   *workers,
 			Engine:    *engine,
+			Method:    *method,
 			// The user asked for exactly this rate, so never let the
 			// adaptive mc_min_rate floor skip it.
 			MCMinRate: *rate,
@@ -118,8 +124,8 @@ func main() {
 		fmt.Printf("logical error rate at p=%g: %.3g (N=%d locations, f2=%.4f)\n",
 			pt.P, pt.PL, res.Locations, res.F[2])
 		if pt.Shots > 0 {
-			fmt.Printf("Monte-Carlo cross-check at p=%g: %.3g (%d shots, rse=%.3g, 95%% CI [%.3g, %.3g])\n",
-				pt.P, pt.MC, pt.Shots, pt.RSE, pt.CILo, pt.CIHi)
+			fmt.Printf("Monte-Carlo cross-check at p=%g: %.3g (%s, %d shots, rse=%.3g, 95%% CI [%.3g, %.3g])\n",
+				pt.P, pt.MC, pt.Method, pt.Shots, pt.RSE, pt.CILo, pt.CIHi)
 		}
 	}
 

@@ -5,16 +5,21 @@
 // wrapper over the public dftsp package.
 //
 // Output is CSV: series,p,pL. The "Linear" series is the pL = p reference
-// line of the figure. Use -mcshots to add direct Monte-Carlo cross-check
-// rows at the largest rates with a fixed budget, or -target-rse to sample
-// each of those points adaptively until the requested relative standard
-// error (capped by -max-shots).
+// line of the figure. Use -mcshots to add Monte-Carlo cross-check rows with
+// a fixed budget, or -target-rse to sample each of those points adaptively
+// until the requested relative standard error (capped by -max-shots). The
+// sampling method follows -method: the default "auto" switches per rate
+// between direct sampling and the rare-event conditional estimator, which
+// extends adaptive sweeps far below the direct-sampling floor — with
+// -pmin 1e-5 the full curve resolves in seconds; "direct" restores the
+// old behaviour of sampling only at p >= 1e-2.
 //
 // Usage:
 //
 //	fig4 > fig4.csv
 //	fig4 -codes Steane,Carbon -samples 50000 -mcshots 20000
 //	fig4 -codes Steane -target-rse 0.05
+//	fig4 -codes Steane -target-rse 0.1 -pmin 1e-5   # rare-event regime
 package main
 
 import (
@@ -35,17 +40,23 @@ func main() {
 		samples   = flag.Int("samples", 20000, "samples per fault order (w >= 2)")
 		maxW      = flag.Int("maxw", 3, "highest stratified fault order")
 		points    = flag.Int("points", 13, "grid points per decade span")
-		mcShots   = flag.Int("mcshots", 0, "if > 0, add Monte-Carlo cross-check rows at p >= 1e-2")
+		mcShots   = flag.Int("mcshots", 0, "if > 0, add Monte-Carlo cross-check rows")
 		tgtRSE    = flag.Float64("target-rse", 0, "if > 0, sample MC rows adaptively to this relative standard error")
 		maxShots  = flag.Int("max-shots", 0, "adaptive sampling cap per rate (0: 10,000,000)")
 		engine    = flag.String("engine", "", "Monte-Carlo engine: auto, scalar or batch (default: auto / DFTSP_ENGINE)")
+		method    = flag.String("method", "", "Monte-Carlo method: auto, direct or rare (default: auto)")
+		pMin      = flag.Float64("pmin", 1e-4, "lowest physical rate of the sweep")
+		pMax      = flag.Float64("pmax", 1e-1, "highest physical rate of the sweep")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 	)
 	flag.Parse()
 
-	// Direct sampling resolves nothing below this physical rate; shared by
-	// the estimation request and the CSV row filter.
-	const mcMinRate = 1e-2
+	// Direct sampling resolves nothing below this physical rate, so confine
+	// it to the top of the sweep; auto and rare sample every grid point.
+	mcMinRate := 0.0
+	if *method == "direct" {
+		mcMinRate = 1e-2
+	}
 
 	names := []string{}
 	for _, c := range dftsp.Codes() {
@@ -61,7 +72,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	grid, err := dftsp.LogGrid(1e-4, 1e-1, *points)
+	grid, err := dftsp.LogGrid(*pMin, *pMax, *points)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig4:", err)
 		os.Exit(1)
@@ -101,6 +112,7 @@ func main() {
 				TargetRSE: *tgtRSE,
 				MaxShots:  *maxShots,
 				Engine:    *engine,
+				Method:    *method,
 				MCMinRate: mcMinRate,
 				Seed:      *seed + int64(i),
 				// Codes already run concurrently; keep each MC serial.

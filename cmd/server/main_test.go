@@ -220,6 +220,40 @@ func TestEstimateEndpoint(t *testing.T) {
 	if !hasLo || !hasHi || !(ciLo <= mc && mc <= ciHi) {
 		t.Fatalf("Wilson interval missing or not bracketing: %v", pt)
 	}
+	if m, ok := pt["method"].(string); !ok || (m != "direct" && m != "rare") {
+		t.Fatalf("adaptive point missing method: %v", pt)
+	}
+	if eff, ok := pt["effective_samples"].(float64); !ok || eff <= 0 || eff > shots {
+		t.Fatalf("adaptive point effective_samples out of range: %v", pt)
+	}
+	if wv, ok := pt["weight_variance"].(float64); !ok || wv < 0 {
+		t.Fatalf("adaptive point weight_variance missing or negative: %v", pt)
+	}
+
+	// A forced rare-event method samples a rate far below the direct
+	// floor and labels the point accordingly.
+	body = `{"options":{"code":"Steane"},"estimate":{"rates":[1e-4],"max_order":1,"target_rse":0.3,"max_shots":2000000,"method":"rare"}}`
+	status, out = postJSON(t, ts.URL+"/estimate", body)
+	if status != http.StatusOK {
+		t.Fatalf("rare estimate: status %d: %v", status, out)
+	}
+	points, ok = out["points"].([]any)
+	if !ok || len(points) != 1 {
+		t.Fatalf("want 1 rare point, got %v", out["points"])
+	}
+	pt = points[0].(map[string]any)
+	if m, _ := pt["method"].(string); m != "rare" {
+		t.Fatalf("rare point labeled %v", pt)
+	}
+	if shots, _ := pt["shots"].(float64); shots <= 0 {
+		t.Fatalf("rare point not sampled: %v", pt)
+	}
+
+	// An unknown method is a client error before synthesis-priced work.
+	body = `{"options":{"code":"Steane"},"estimate":{"rates":[0.05],"method":"subset"}}`
+	if status, out := postJSON(t, ts.URL+"/estimate", body); status != http.StatusBadRequest {
+		t.Fatalf("unknown method: status %d: %v", status, out)
+	}
 
 	// Engine selection: an explicit scalar engine serves normally, an
 	// unknown engine is a client error before any synthesis-priced work.

@@ -31,13 +31,25 @@ type EstimateOptions struct {
 	// MCMinRate restricts the Monte-Carlo cross-check to rates >= this
 	// value (direct sampling resolves nothing at tiny physical rates).
 	// In fixed-budget mode 0 checks every requested rate. In adaptive mode
-	// (TargetRSE > 0) 0 selects 1e-2: a rate whose logical error
-	// probability is far below 1/MaxShots can never observe a failure, so
-	// the RSE stopping rule never fires and every such point would burn
-	// the full MaxShots cap — across a default 13-point grid that is over
-	// 10^8 wasted shots per request. Pass an explicit tiny positive value
-	// (e.g. 1e-300) to adaptively sample every rate anyway.
+	// (TargetRSE > 0) with Method "direct" 0 selects 1e-2: a rate whose
+	// logical error probability is far below 1/MaxShots can never observe a
+	// failure, so the RSE stopping rule never fires and every such point
+	// would burn the full MaxShots cap — across a default 13-point grid
+	// that is over 10^8 wasted shots per request. With Method "auto" or
+	// "rare" 0 keeps every rate: the rare-event estimator handles the tiny
+	// rates the floor existed to protect against, so no floor applies.
+	// Pass an explicit tiny positive value (e.g. 1e-300) to sample every
+	// rate even with Method "direct".
 	MCMinRate float64 `json:"mc_min_rate,omitempty"`
+
+	// Method selects the Monte-Carlo sampling method: "" or "auto" picks
+	// per rate between direct sampling and the rare-event (>= 1-fault
+	// conditional) estimator by the crossover policy — rare when
+	// P(#faults >= 1) < 0.5 at that rate — while "direct" and "rare" force
+	// their method at every sampled rate ("rare" requires all rates
+	// strictly inside (0,1), which Validate already guarantees). Sampled
+	// points report which method ran.
+	Method string `json:"method,omitempty"`
 
 	// TargetRSE, when > 0, switches the Monte-Carlo cross-check to
 	// adaptive mode: sampling at each rate continues in chunks until the
@@ -85,7 +97,9 @@ func (eo EstimateOptions) withDefaults() EstimateOptions {
 		if eo.MaxShots <= 0 {
 			eo.MaxShots = 10_000_000
 		}
-		if eo.MCMinRate == 0 {
+		// The burn-the-cap floor only protects direct sampling; auto and
+		// rare handle arbitrarily small rates via the conditional estimator.
+		if m, _ := sim.ParseMethod(eo.Method); m == sim.MethodDirect && eo.MCMinRate == 0 {
 			eo.MCMinRate = 1e-2
 		}
 	}
@@ -115,15 +129,28 @@ type RatePoint struct {
 	// CILo and CIHi are the 95% Wilson confidence interval for MC.
 	CILo float64 `json:"ci_lo,omitempty"`
 	CIHi float64 `json:"ci_hi,omitempty"`
+
+	// Method is the sampling method that ran at this point: "direct" or
+	// "rare" (the auto selection resolved per rate).
+	Method string `json:"method,omitempty"`
+
+	// EffSamples is the Kish effective sample size under the rare-event
+	// estimator's fault-count post-stratification weights; equal to Shots
+	// for direct sampling.
+	EffSamples float64 `json:"effective_samples,omitempty"`
+
+	// WeightVar is the relative variance of the post-stratification
+	// weights (Shots/EffSamples - 1); 0 for direct sampling.
+	WeightVar float64 `json:"weight_variance,omitempty"`
 }
 
 // MarshalJSON serializes the point so that the presence of the sampling
 // statistics tracks whether sampling ran, not whether the values happen to
 // be zero: a sampled point (Shots > 0) always carries mc, shots, rse,
-// ci_lo and ci_hi — a 10M-shot run with zero observed failures legitimately
-// has mc = rse = ci_lo = 0, and plain omitempty would silently drop those
-// fields and make the point look unsampled — while an unsampled point
-// carries only p and pl.
+// ci_lo, ci_hi, method, effective_samples and weight_variance — a 10M-shot
+// run with zero observed failures legitimately has mc = rse = ci_lo = 0,
+// and plain omitempty would silently drop those fields and make the point
+// look unsampled — while an unsampled point carries only p and pl.
 func (pt RatePoint) MarshalJSON() ([]byte, error) {
 	type bare struct {
 		P  float64 `json:"p"`
@@ -134,19 +161,25 @@ func (pt RatePoint) MarshalJSON() ([]byte, error) {
 	}
 	type sampled struct {
 		bare
-		MC    float64 `json:"mc"`
-		Shots int     `json:"shots"`
-		RSE   float64 `json:"rse"`
-		CILo  float64 `json:"ci_lo"`
-		CIHi  float64 `json:"ci_hi"`
+		MC         float64 `json:"mc"`
+		Shots      int     `json:"shots"`
+		RSE        float64 `json:"rse"`
+		CILo       float64 `json:"ci_lo"`
+		CIHi       float64 `json:"ci_hi"`
+		Method     string  `json:"method"`
+		EffSamples float64 `json:"effective_samples"`
+		WeightVar  float64 `json:"weight_variance"`
 	}
 	return json.Marshal(sampled{
-		bare:  bare{P: pt.P, PL: pt.PL},
-		MC:    pt.MC,
-		Shots: pt.Shots,
-		RSE:   pt.RSE,
-		CILo:  pt.CILo,
-		CIHi:  pt.CIHi,
+		bare:       bare{P: pt.P, PL: pt.PL},
+		MC:         pt.MC,
+		Shots:      pt.Shots,
+		RSE:        pt.RSE,
+		CILo:       pt.CILo,
+		CIHi:       pt.CIHi,
+		Method:     pt.Method,
+		EffSamples: pt.EffSamples,
+		WeightVar:  pt.WeightVar,
 	})
 }
 
@@ -193,6 +226,9 @@ func (eo EstimateOptions) Validate() error {
 	if _, err := sim.ParseEngine(eo.Engine); err != nil {
 		return badOptions("engine %q (want auto, scalar or batch)", eo.Engine)
 	}
+	if _, err := sim.ParseMethod(eo.Method); err != nil {
+		return badOptions("method %q (want auto, direct or rare)", eo.Method)
+	}
 	return nil
 }
 
@@ -202,9 +238,14 @@ func (eo EstimateOptions) Validate() error {
 // Monte-Carlo sampling as a cross-check. Sampling runs on the 64-lane
 // bit-parallel batch engine by default (Engine "auto"), falling back to the
 // compiled scalar engine when the protocol exceeds the packing limits; both
-// are allocation-free in steady state. With TargetRSE set, each sampled point runs adaptively until
-// its relative standard error reaches the target or MaxShots is exhausted,
-// and reports shots, RSE and a 95% Wilson confidence interval.
+// are allocation-free in steady state. The sampling method follows Method:
+// "auto" (the default) switches per rate between direct sampling and the
+// rare-event conditional estimator, which resolves logical rates far below
+// 1/MaxShots by conditioning every shot on at least one fault. With
+// TargetRSE set, each sampled point runs adaptively until its relative
+// standard error reaches the target or MaxShots is exhausted, and reports
+// shots, RSE, a 95% Wilson confidence interval, the method that ran, and
+// the weighted-sample diagnostics.
 //
 // Cancelling ctx stops the fault enumeration and every Monte-Carlo worker
 // promptly; the returned error then matches context.Canceled /
@@ -233,6 +274,7 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 	}
 	res := EstimateResult{Locations: fo.N, F: fo.F}
 	adaptive := eo.TargetRSE > 0
+	method, _ := sim.ParseMethod(eo.Method) // validated above
 	for i, r := range eo.Rates {
 		pt := RatePoint{P: r, PL: fo.Rate(r)}
 		if (eo.MCShots > 0 || adaptive) && r >= eo.MCMinRate {
@@ -243,7 +285,7 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 				target, budget = eo.TargetRSE, eo.MaxShots
 			}
 			mcStart := time.Now()
-			ar, err := est.DirectMCAdaptive(ctx, r, target, budget, seed, eo.Workers)
+			ar, err := est.Adaptive(ctx, method, r, target, budget, seed, eo.Workers)
 			if err != nil {
 				return EstimateResult{}, estimateError(err)
 			}
@@ -252,6 +294,9 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 			pt.Shots = ar.Shots
 			pt.RSE = ar.RSE
 			pt.CILo, pt.CIHi = ar.CILo, ar.CIHi
+			pt.Method = ar.Method.String()
+			pt.EffSamples = ar.EffectiveSamples
+			pt.WeightVar = ar.WeightVariance
 		}
 		res.Points = append(res.Points, pt)
 	}
@@ -262,7 +307,7 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 // taxonomy (ErrBadOptions); everything else — notably context cancellation —
 // passes through unchanged.
 func estimateError(err error) error {
-	for _, sentinel := range []error{sim.ErrBadShots, sim.ErrBadSamples, sim.ErrBadOrder, sim.ErrBadTarget} {
+	for _, sentinel := range []error{sim.ErrBadShots, sim.ErrBadSamples, sim.ErrBadOrder, sim.ErrBadTarget, sim.ErrBadRate} {
 		if errors.Is(err, sentinel) {
 			return badOptions("%w", err)
 		}

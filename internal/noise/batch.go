@@ -38,6 +38,16 @@ func (s *SplitMix64) Intn(n int) int {
 	return int(s.Next() % uint64(n))
 }
 
+// Seq returns the i-th output of the sequence beginning at s's current
+// state, without advancing s: Seq(0) is what Next would return, Seq(1) the
+// output after it, and so on. The adaptive estimator uses it to give every
+// fixed-size sampling block a well-separated seed addressed by block index,
+// so pooled results do not depend on which worker runs which block.
+func (s SplitMix64) Seq(i uint64) uint64 {
+	s.State += i * 0x9E3779B97F4A7C15
+	return s.Next()
+}
+
 // BatchInjector supplies faults for the 64-lane batch engine. One call
 // covers one fault location ("site") across all 64 lanes at once: the
 // returned words carry one bit per lane, restricted to the lanes set in
@@ -96,6 +106,20 @@ func NewSparseSampler(p float64, seed uint64) *SparseSampler {
 	s.invLog = 1 / math.Log1p(-p)
 	s.next = s.gap() - 1 // cell 0 itself faults with probability p
 	return s
+}
+
+// Reseed restarts the sampler's RNG stream at seed and resynchronizes the
+// geometric skip state, as if freshly constructed by NewSparseSampler(P,
+// seed); the adaptive estimator uses it to re-key a worker's sampler to each
+// deterministic sampling block without reallocating.
+func (s *SparseSampler) Reseed(seed uint64) {
+	s.rng.State = seed
+	s.base = 0
+	if s.P <= 0 {
+		s.next = math.MaxUint64
+		return
+	}
+	s.next = s.gap() - 1
 }
 
 // gap draws the geometric inter-fault gap: delta >= 1 with

@@ -1,0 +1,272 @@
+package noise
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file implements conditional fault sampling for the rare-event
+// estimator: drawing fault configurations from the E1_1 model conditioned on
+// at least one fault occurring. The construction exploits a structural fact
+// of the simulator: a shot with zero faults follows the fault-free path
+// exactly, which has a fixed number N of fault locations. Consequently
+// "the shot has >= 1 fault" is equivalent to "the first fault lands on one
+// of the first N locations", and the conditional distribution factorizes
+// sequentially:
+//
+//   - the first fault's location J is truncated-geometric on [0, N):
+//     P(J = j | J < N) = (1-p)^j p / (1 - (1-p)^N),
+//   - locations before J are fault-free, the location after J onward fault
+//     independently with probability p each (plain geometric gaps), wherever
+//     the now-divergent trajectory takes the shot,
+//   - the faulting operator at each location is drawn from the location's
+//     menu exactly as in the unconditional model.
+//
+// This is the exact conditional law, not an approximation: replaying it and
+// reweighting verdicts by P(#faults >= 1) = 1-(1-p)^N reproduces the direct
+// Monte-Carlo distribution bit-for-bit in expectation, which is what the
+// overlap-regime cross-check tests pin statistically.
+
+// noFault marks a location counter value no real location reaches: a lane
+// (or scalar shot) whose next-fault index is noFault runs fault-free until
+// its next Reset.
+const noFault = ^uint32(0)
+
+// CondSampler is the >=1-fault conditional twin of SparseSampler for the
+// 64-lane batch engine: every live lane of every word is guaranteed at least
+// one fault, drawn from the exact conditional distribution above. Unlike
+// SparseSampler it must track per-lane location indices (the conditioning is
+// defined in each lane's own location order, which advances only while the
+// lane is in the active mask), so each draw costs one counter update per
+// active lane instead of the sparse sampler's single comparison per site —
+// the price of never sampling a fault-free shot.
+//
+// Call Reset before every 64-shot word to redraw the forced first-fault
+// locations; a CondSampler is not safe for concurrent use.
+type CondSampler struct {
+	// P is the per-location physical fault probability, in (0, 1).
+	P float64
+
+	// N is the number of fault locations on the fault-free path.
+	N int
+
+	// CondP is the conditioning weight P(#faults >= 1) = 1-(1-P)^N: the
+	// exact probability mass the conditional sample represents. Multiply
+	// conditional failure proportions by CondP to recover unconditional
+	// ones.
+	CondP float64
+
+	// Faults[l] counts the faults injected into lane l since the last
+	// Reset; the rare-event estimator bins verdicts by it (fault-count
+	// strata).
+	Faults [64]uint16
+
+	rng    SplitMix64
+	invLog float64    // 1 / log(1-p)
+	cnt    [64]uint32 // locations executed per lane since Reset
+	next   [64]uint32 // lane-local location index of each lane's next fault
+}
+
+// NewCondSampler returns a conditional sampler at physical rate p for a
+// protocol with n fault locations on its fault-free path, with the RNG
+// stream seeded by seed. It requires 0 < p < 1 and n >= 1 — outside that
+// range the conditional distribution does not exist (p = 0 has no faults to
+// condition on; p = 1 makes conditioning vacuous and the plain SparseSampler
+// exact); callers validate before constructing.
+func NewCondSampler(p float64, n int, seed uint64) *CondSampler {
+	s := &CondSampler{P: p, N: n, rng: SplitMix64{State: seed}}
+	s.invLog = 1 / math.Log1p(-p)
+	s.CondP = CondProb(n, p)
+	for lane := range s.next {
+		s.next[lane] = noFault
+	}
+	return s
+}
+
+// CondProb returns P(#faults >= 1) = 1-(1-p)^n for n independent
+// Bernoulli(p) fault locations, computed via expm1/log1p so it stays
+// accurate when n·p is tiny (at p = 1e-9 the naive form loses every
+// significant digit). Out-of-range rates clamp to the exact limits:
+// 0 for p <= 0, 1 for p >= 1.
+func CondProb(n int, p float64) float64 {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return -math.Expm1(float64(n) * math.Log1p(-p))
+}
+
+// Reseed restarts the sampler's RNG stream at seed, as if freshly
+// constructed; the adaptive estimator uses it to give every fixed-size
+// sampling block its own deterministic stream independent of which worker
+// runs it.
+func (s *CondSampler) Reseed(seed uint64) { s.rng.State = seed }
+
+// Reset begins a new 64-shot word: location counters and fault tallies
+// clear, and every lane in live gets a forced first-fault location drawn
+// from the truncated geometric on [0, N). Lanes outside live run fault-free.
+func (s *CondSampler) Reset(live uint64) {
+	for lane := range s.cnt {
+		s.cnt[lane] = 0
+		s.Faults[lane] = 0
+		s.next[lane] = noFault
+	}
+	for l := live; l != 0; l &= l - 1 {
+		s.next[bits.TrailingZeros64(l)] = s.firstFault()
+	}
+}
+
+// firstFault draws the forced first-fault location from the truncated
+// geometric: J = floor(log(1 - u·CondP)/log(1-p)) for u uniform in (0, 1],
+// clamped to N-1 against the float edge at u = 1.
+func (s *CondSampler) firstFault() uint32 {
+	g := math.Log1p(-s.rng.Float64()*s.CondP) * s.invLog
+	j := uint32(g)
+	if j >= uint32(s.N) {
+		j = uint32(s.N) - 1
+	}
+	return j
+}
+
+// nextAfter schedules the fault after one fired at lane-local location c:
+// a plain geometric gap, exactly the unconditional per-location Bernoulli(p)
+// law of the sparse sampler. Gaps past the uint32 range saturate to noFault
+// (no protocol executes 4 billion locations in one shot).
+func (s *CondSampler) nextAfter(c uint32) uint32 {
+	g := math.Log(s.rng.Float64()) * s.invLog // >= 0; Float64 is in (0,1]
+	if g >= float64(noFault) {
+		return noFault
+	}
+	nxt := uint64(c) + 1 + uint64(g)
+	if nxt >= uint64(noFault) {
+		return noFault
+	}
+	return uint32(nxt)
+}
+
+// draw advances every active lane by one location and fires the scheduled
+// faults, mirroring BatchPlan's location semantics (counters advance only
+// while the lane is active).
+func (s *CondSampler) draw(active uint64, visit func(lane uint)) {
+	for a := active; a != 0; a &= a - 1 {
+		lane := uint(bits.TrailingZeros64(a))
+		c := s.cnt[lane]
+		s.cnt[lane] = c + 1
+		if c != s.next[lane] {
+			continue
+		}
+		s.Faults[lane]++
+		s.next[lane] = s.nextAfter(c)
+		visit(lane)
+	}
+}
+
+// Draw1Q implements BatchInjector: uniform {X, Y, Z} on faulted lanes.
+func (s *CondSampler) Draw1Q(active uint64) (x, z uint64) {
+	s.draw(active, func(lane uint) {
+		f := ops1Q[s.rng.Intn(len(ops1Q))]
+		if f.P1&1 != 0 {
+			x |= 1 << lane
+		}
+		if f.P1&2 != 0 {
+			z |= 1 << lane
+		}
+	})
+	return
+}
+
+// Draw2Q implements BatchInjector: uniform over the 15 non-identity
+// two-qubit Paulis on faulted lanes.
+func (s *CondSampler) Draw2Q(active uint64) (x1, z1, x2, z2 uint64) {
+	s.draw(active, func(lane uint) {
+		f := ops2Q[s.rng.Intn(len(ops2Q))]
+		if f.P1&1 != 0 {
+			x1 |= 1 << lane
+		}
+		if f.P1&2 != 0 {
+			z1 |= 1 << lane
+		}
+		if f.P2&1 != 0 {
+			x2 |= 1 << lane
+		}
+		if f.P2&2 != 0 {
+			z2 |= 1 << lane
+		}
+	})
+	return
+}
+
+// DrawMeas implements BatchInjector: a classical flip on faulted lanes.
+func (s *CondSampler) DrawMeas(active uint64) (flip uint64) {
+	s.draw(active, func(lane uint) {
+		flip |= 1 << lane
+	})
+	return
+}
+
+// CondInjector is the scalar twin of CondSampler for the compiled and
+// interpreted engines: one shot per Reset, the same exact >=1-fault
+// conditional law. It backs the rare-event estimator's scalar fallback when
+// a protocol exceeds the batch engine's packing limits, and the
+// scalar-vs-batch conditional cross-check.
+type CondInjector struct {
+	// P, N and CondP mirror the CondSampler fields.
+	P     float64
+	N     int
+	CondP float64
+
+	// Faults counts the faults injected since the last Reset.
+	Faults int
+
+	rng    SplitMix64
+	invLog float64
+	cnt    uint32
+	next   uint32
+}
+
+// NewCondInjector returns a scalar conditional injector; the argument
+// contract matches NewCondSampler (0 < p < 1, n >= 1).
+func NewCondInjector(p float64, n int, seed uint64) *CondInjector {
+	c := &CondInjector{P: p, N: n, rng: SplitMix64{State: seed}}
+	c.invLog = 1 / math.Log1p(-p)
+	c.CondP = CondProb(n, p)
+	c.next = noFault
+	return c
+}
+
+// Reseed restarts the injector's RNG stream at seed, as if freshly
+// constructed.
+func (c *CondInjector) Reseed(seed uint64) { c.rng.State = seed }
+
+// Reset begins a new shot: the location counter and fault tally clear and a
+// fresh forced first-fault location is drawn.
+func (c *CondInjector) Reset() {
+	c.cnt = 0
+	c.Faults = 0
+	g := math.Log1p(-c.rng.Float64()*c.CondP) * c.invLog
+	j := uint32(g)
+	if j >= uint32(c.N) {
+		j = uint32(c.N) - 1
+	}
+	c.next = j
+}
+
+// Next implements Injector.
+func (c *CondInjector) Next(kind LocKind) Fault {
+	loc := c.cnt
+	c.cnt = loc + 1
+	if loc != c.next {
+		return Fault{}
+	}
+	c.Faults++
+	g := math.Log(c.rng.Float64()) * c.invLog
+	if g >= float64(noFault) || uint64(loc)+1+uint64(g) >= uint64(noFault) {
+		c.next = noFault
+	} else {
+		c.next = loc + 1 + uint32(g)
+	}
+	ops := OpsFor(kind)
+	return ops[c.rng.Intn(len(ops))]
+}

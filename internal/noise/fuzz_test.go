@@ -1,0 +1,86 @@
+package noise
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// FuzzSparseSampler locks down the geometric-skip sampler the rare-event
+// conditional sampler reuses. For arbitrary (rate, seed, site count, active
+// mask) inputs it checks the structural invariants — p = 0 faults nothing,
+// p = 1 faults every active cell, faults never land outside the active
+// mask — and that the realized fault count stays within a 5-sigma-plus-slack
+// Chernoff-style envelope of the Binomial(sites·|active|, p) expectation.
+// The seeded corpus runs as ordinary unit tests (including CI's short
+// mode); `go test -fuzz=FuzzSparseSampler ./internal/noise` explores
+// further.
+func FuzzSparseSampler(f *testing.F) {
+	f.Add(uint64(0), uint64(1), 100, ^uint64(0))                     // p = 0
+	f.Add(^uint64(0), uint64(2), 100, ^uint64(0))                    // p -> 1
+	f.Add(uint64(1)<<62, uint64(3), 200, ^uint64(0))                 // p = 0.125
+	f.Add(uint64(1)<<52, uint64(4), 300, uint64(0xF0F0F0F0F0F0F0F0)) // tiny p, masked
+	f.Add(uint64(1)<<61, uint64(5), 50, uint64(1))                   // single lane
+	f.Add(uint64(1)<<63, uint64(6), 1, uint64(0))                    // no active lanes
+	f.Add(uint64(3)<<62, uint64(7), 150, uint64(0x5555555555555555)) // p = 0.75, alternating
+
+	f.Fuzz(func(t *testing.T, pRaw, seed uint64, sites int, active uint64) {
+		if sites < 0 || sites > 2000 {
+			return // keep each input cheap; larger site counts add nothing
+		}
+		// Map the raw word onto [0, 1] with both endpoints reachable.
+		p := float64(pRaw>>11) / float64(uint64(1)<<53-1)
+		s := NewSparseSampler(p, seed)
+
+		cells := sites * bits.OnesCount64(active)
+		faults := 0
+		for i := 0; i < sites; i++ {
+			// Rotate across the three site kinds so the operator-menu
+			// paths are all exercised.
+			var hit uint64
+			switch i % 3 {
+			case 0:
+				x, z := s.Draw1Q(active)
+				if x&^active != 0 || z&^active != 0 {
+					t.Fatalf("site %d: 1Q fault outside active mask %016x: x=%016x z=%016x", i, active, x, z)
+				}
+				hit = x | z
+			case 1:
+				x1, z1, x2, z2 := s.Draw2Q(active)
+				if (x1|z1|x2|z2)&^active != 0 {
+					t.Fatalf("site %d: 2Q fault outside active mask", i)
+				}
+				hit = x1 | z1 | x2 | z2
+			default:
+				flip := s.DrawMeas(active)
+				if flip&^active != 0 {
+					t.Fatalf("site %d: measurement flip outside active mask", i)
+				}
+				hit = flip
+			}
+			faults += bits.OnesCount64(hit)
+		}
+
+		switch {
+		case p == 0:
+			if faults != 0 {
+				t.Fatalf("p=0 produced %d faults", faults)
+			}
+		case p == 1:
+			// Every drawn operator is non-identity, so each active cell
+			// contributes exactly one faulted lane per site.
+			if faults != cells {
+				t.Fatalf("p=1 produced %d faulted cells, want %d", faults, cells)
+			}
+		default:
+			mean := p * float64(cells)
+			// 5σ of the binomial plus constant slack so the Poisson regime
+			// (tiny mean, where a single fault exceeds any multiple of the
+			// binomial σ) cannot trip the bound.
+			slack := 5*math.Sqrt(mean*(1-p)) + 12
+			if diff := math.Abs(float64(faults) - mean); diff > slack {
+				t.Fatalf("p=%g over %d cells: %d faults, want %.1f ± %.1f", p, cells, faults, mean, slack)
+			}
+		}
+	})
+}

@@ -7,57 +7,165 @@ import (
 	"math/bits"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/noise"
 )
 
-// adaptiveChunk is the number of shots one worker runs between stopping-rule
-// checks: large enough that the per-round synchronization is invisible in
-// the throughput, small enough that an easy target stops within a few
-// thousand shots. It must be a multiple of 64 so batch-engine workers run
-// whole lane words except in the (clamped) final round.
+// adaptiveChunk is the number of shots in one sampling block, the unit of
+// deterministic work distribution: each block owns an RNG stream derived
+// from its block index (not from the worker that happens to run it), so the
+// pooled (shots, fails) counts are independent of the worker count. It is a
+// multiple of 64 so batch-engine blocks run whole lane words except in the
+// (clamped) final block of a budget.
 const adaptiveChunk = 4096
 
-// AdaptiveResult reports an adaptive (or fixed-budget) direct Monte-Carlo
-// estimate together with its statistical quality.
+// adaptiveBlocksPerRound is the number of blocks between stopping-rule
+// checks. It is a fixed constant — deliberately not scaled by the worker
+// count, which would make the stopping decision (and therefore the reported
+// shot totals) depend on the machine: large enough that per-round
+// synchronization is invisible in the throughput, small enough that an easy
+// target stops within ~10^5 shots.
+const adaptiveBlocksPerRound = 32
+
+// blockSeed derives the RNG seed of sampling block b from the caller's
+// seed via the SplitMix64 sequence; successive block indices get
+// well-separated streams.
+func blockSeed(seed int64, b int) uint64 {
+	return noise.SplitMix64{State: uint64(seed)}.Seq(uint64(b))
+}
+
+// AdaptiveResult reports an adaptive (or fixed-budget) Monte-Carlo estimate
+// together with its statistical quality. Direct estimates fill the direct
+// fields only; rare-event estimates (Method == MethodRare) additionally
+// carry the conditioning weight and the weighted-sample diagnostics.
 type AdaptiveResult struct {
-	// PL is the estimated logical error rate Fails/Shots.
+	// PL is the estimated logical error rate: Fails/Shots for direct
+	// sampling, CondP·Fails/Shots for the rare-event estimator.
 	PL float64
 
 	// Shots and Fails are the executed shot count and observed failures.
+	// For the rare-event estimator both count conditional (>= 1 fault)
+	// shots.
 	Shots int
 	Fails int
 
-	// RSE is the relative standard error sqrt((1-PL)/Fails) of the
-	// estimate. It is reported as 0 when Fails == 0 (the RSE is undefined
-	// without failures — inspect Fails).
+	// RSE is the relative standard error sqrt((1-q)/Fails) of the estimate,
+	// where q is the per-shot failure proportion (the conditioning weight
+	// cancels, so the same formula serves both methods). It is reported as
+	// 0 when Fails == 0 (the RSE is undefined without failures — inspect
+	// Fails).
 	RSE float64
 
-	// CILo and CIHi are the 95% Wilson score confidence interval for PL.
+	// CILo and CIHi are the 95% Wilson score confidence interval for PL
+	// (scaled by the conditioning weight for the rare-event estimator).
 	CILo, CIHi float64
 
 	// ShotsPerSec is the observed sampling throughput.
 	ShotsPerSec float64
+
+	// Method is the sampling method that actually ran: MethodDirect or
+	// MethodRare (never MethodAuto — auto resolves before sampling).
+	Method Method
+
+	// CondP is the conditioning weight P(#faults >= 1) applied to the
+	// conditional failure proportion; 1 for direct sampling.
+	CondP float64
+
+	// EffectiveSamples is the Kish effective sample size of the run under
+	// the fault-count post-stratification weights; equal to Shots for
+	// direct sampling (uniform weights).
+	EffectiveSamples float64
+
+	// WeightVariance is the relative variance of the per-shot
+	// post-stratification weights (Shots/EffectiveSamples - 1); 0 for
+	// direct sampling.
+	WeightVariance float64
+}
+
+// runAdaptive drives the deterministic block-scheduled sampling loop shared
+// by the direct and rare-event adaptive estimators. The budget is cut into
+// fixed blocks of adaptiveChunk shots; workers claim block indices from a
+// shared atomic queue and call runBlock(worker, block, n), which must sample
+// exactly n shots seeded by the block index and return the failure count.
+// Because the stream is keyed by block — not worker — and the stopping rule
+// is evaluated at fixed round boundaries, the pooled (shots, fails)
+// sequence is a pure function of (seed, targetRSE, maxShots, engine):
+// the worker count changes wall-clock time only.
+func runAdaptive(ctx context.Context, targetRSE float64, maxShots, workers int, runBlock func(worker, block, n int) int) (shots, fails int, err error) {
+	totalBlocks := (maxShots + adaptiveChunk - 1) / adaptiveChunk
+	if workers > totalBlocks {
+		workers = totalBlocks
+	}
+	results := make([]int, workers)
+	for start := 0; start < totalBlocks; {
+		end := start + adaptiveBlocksPerRound
+		if end > totalBlocks {
+			end = totalBlocks
+		}
+		next := int64(start)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				count := 0
+				for ctx.Err() == nil {
+					b := int(atomic.AddInt64(&next, 1)) - 1
+					if b >= end {
+						break
+					}
+					n := adaptiveChunk
+					if rem := maxShots - b*adaptiveChunk; n > rem {
+						n = rem
+					}
+					count += runBlock(w, b, n)
+				}
+				results[w] = count
+			}(w)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
+		for w, c := range results {
+			fails += c
+			results[w] = 0
+		}
+		endShot := end * adaptiveChunk
+		if endShot > maxShots {
+			endShot = maxShots
+		}
+		shots = endShot
+		start = end
+		if targetRSE > 0 && fails > 0 {
+			if rse := math.Sqrt((1 - float64(fails)/float64(shots)) / float64(fails)); rse <= targetRSE {
+				break
+			}
+		}
+	}
+	return shots, fails, nil
 }
 
 // DirectMCAdaptive estimates the logical error rate at physical rate p by
 // direct Monte-Carlo with an adaptive stopping rule: sampling proceeds in
-// chunks across a bounded worker pool until the relative standard error of
-// the estimate drops to targetRSE or maxShots is reached, whichever comes
-// first. targetRSE == 0 disables the early stop, so exactly maxShots shots
-// run — the fixed-budget DirectMCParallel is this special case.
+// fixed 4096-shot blocks across a bounded worker pool until the relative
+// standard error of the estimate drops to targetRSE or maxShots is reached,
+// whichever comes first. targetRSE == 0 disables the early stop, so exactly
+// maxShots shots run — the fixed-budget DirectMCParallel is this special
+// case.
 //
 // maxShots must be positive (ErrBadShots) and targetRSE in [0, 1)
-// (ErrBadTarget). workers <= 0 selects DefaultWorkers(); worker counts
-// above maxShots are clamped to maxShots. Per-worker RNG streams are
-// derived from seed via the SplitMix64 sequence — scalar workers seed a
-// math/rand source, batch workers a SparseSampler — so the result is a pure
-// function of (seed, workers, maxShots, targetRSE, engine) on every
-// machine. The final round is clamped to the remaining budget (batch
-// workers mask the last lane word), so the reported Shots never exceeds
-// maxShots. Cancelling ctx stops every worker promptly and returns
-// ctx.Err().
+// (ErrBadTarget). workers <= 0 selects DefaultWorkers(). Every block's RNG
+// stream is derived from seed via the SplitMix64 sequence keyed by block
+// index — scalar blocks re-seed a math/rand source, batch blocks a
+// SparseSampler — so the result is a pure function of (seed, maxShots,
+// targetRSE, engine) on every machine: the worker count only changes
+// wall-clock time, never the pooled (shots, fails). The final block is
+// clamped to the remaining budget (batch workers mask the last lane word),
+// so the reported Shots never exceeds maxShots. Cancelling ctx stops every
+// worker promptly and returns ctx.Err().
 func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE float64, maxShots int, seed int64, workers int) (AdaptiveResult, error) {
 	if maxShots <= 0 {
 		return AdaptiveResult{}, fmt.Errorf("%w: %d max shots", ErrBadShots, maxShots)
@@ -68,31 +176,24 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	if workers > maxShots {
-		workers = maxShots
-	}
 
-	// Per-worker state persists across rounds so every worker consumes one
-	// continuous RNG stream regardless of how many rounds run.
+	// Per-worker scratch persists across blocks; the RNG state is re-keyed
+	// per block so the scratch owner does not matter.
 	type workerState struct {
-		inj  *noise.Depolarizing
-		sh   *Shot
-		smp  *noise.SparseSampler
-		bs   *BatchShot
-		fail int
+		inj *noise.Depolarizing
+		sh  *Shot
+		smp *noise.SparseSampler
+		bs  *BatchShot
 	}
 	useBatch := est.useBatch()
 	ws := make([]*workerState, workers)
-	sm := noise.SplitMix64{State: uint64(seed)}
 	for w := range ws {
-		wseed := sm.Next()
 		st := &workerState{}
 		if useBatch {
-			st.smp = noise.NewSparseSampler(p, wseed)
+			st.smp = noise.NewSparseSampler(p, 0)
 			st.bs = est.batch.NewShot()
 		} else {
-			rng := rand.New(rand.NewSource(int64(wseed)))
-			st.inj = &noise.Depolarizing{P: p, Rng: rng}
+			st.inj = &noise.Depolarizing{P: p, Rng: rand.New(rand.NewSource(0))}
 			if est.prog != nil {
 				st.sh = est.prog.NewShot()
 			}
@@ -100,86 +201,64 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 		ws[w] = st
 	}
 
-	start := time.Now()
-	shots, fails := 0, 0
-	for shots < maxShots {
-		round := workers * adaptiveChunk
-		if rem := maxShots - shots; round > rem {
-			round = rem
-		}
-		per, extra := round/workers, round%workers
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			n := per
-			if w < extra {
-				n++
-			}
-			if n == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(st *workerState, n int) {
-				defer wg.Done()
-				count := 0
-				switch {
-				case useBatch:
-					// One 64-lane word per iteration; the final word is
-					// masked to the remainder so exactly n shots run and
-					// the reported total can never exceed maxShots.
-					for i := 0; i < n; i += 64 {
-						if ctx.Err() != nil {
-							return
-						}
-						live := ^uint64(0)
-						if rem := n - i; rem < 64 {
-							live = 1<<uint(rem) - 1
-						}
-						est.batch.Run(st.bs, st.smp, live)
-						count += bits.OnesCount64(est.batch.Judge(st.bs))
-					}
-				case est.prog != nil:
-					for i := 0; i < n; i++ {
-						if i%ctxPollShots == 0 && ctx.Err() != nil {
-							return
-						}
-						est.prog.Run(st.sh, st.inj)
-						if est.prog.Judge(st.sh) {
-							count++
-						}
-					}
-				default:
-					for i := 0; i < n; i++ {
-						if i%ctxPollShots == 0 && ctx.Err() != nil {
-							return
-						}
-						if est.Judge(Run(est.P, st.inj)) {
-							count++
-						}
-					}
+	runBlock := func(w, b, n int) int {
+		st := ws[w]
+		count := 0
+		switch {
+		case useBatch:
+			st.smp.Reseed(blockSeed(seed, b))
+			// One 64-lane word per iteration; the final word is masked to
+			// the remainder so exactly n shots run and the reported total
+			// can never exceed maxShots.
+			for i := 0; i < n; i += 64 {
+				if ctx.Err() != nil {
+					return count
 				}
-				st.fail = count
-			}(ws[w], n)
-		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return AdaptiveResult{}, err
-		}
-		for _, st := range ws {
-			fails += st.fail
-			st.fail = 0
-		}
-		shots += round
-		if targetRSE > 0 && fails > 0 {
-			if rse := math.Sqrt((1 - float64(fails)/float64(shots)) / float64(fails)); rse <= targetRSE {
-				break
+				live := ^uint64(0)
+				if rem := n - i; rem < 64 {
+					live = 1<<uint(rem) - 1
+				}
+				est.batch.Run(st.bs, st.smp, live)
+				count += bits.OnesCount64(est.batch.Judge(st.bs))
+			}
+		case est.prog != nil:
+			st.inj.Rng.Seed(int64(blockSeed(seed, b)))
+			for i := 0; i < n; i++ {
+				if i%ctxPollShots == 0 && ctx.Err() != nil {
+					return count
+				}
+				est.prog.Run(st.sh, st.inj)
+				if est.prog.Judge(st.sh) {
+					count++
+				}
+			}
+		default:
+			st.inj.Rng.Seed(int64(blockSeed(seed, b)))
+			for i := 0; i < n; i++ {
+				if i%ctxPollShots == 0 && ctx.Err() != nil {
+					return count
+				}
+				if est.Judge(Run(est.P, st.inj)) {
+					count++
+				}
 			}
 		}
+		return count
+	}
+
+	start := time.Now()
+	shots, fails, err := runAdaptive(ctx, targetRSE, maxShots, workers, runBlock)
+	if err != nil {
+		return AdaptiveResult{}, err
 	}
 
 	res := AdaptiveResult{
-		PL:    float64(fails) / float64(shots),
-		Shots: shots,
-		Fails: fails,
+		PL:               float64(fails) / float64(shots),
+		Shots:            shots,
+		Fails:            fails,
+		Method:           MethodDirect,
+		CondP:            1,
+		EffectiveSamples: float64(shots),
 	}
 	if fails > 0 {
 		res.RSE = math.Sqrt((1 - res.PL) / float64(fails))

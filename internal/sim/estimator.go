@@ -58,6 +58,7 @@ type Estimator struct {
 	prog   *Program // compiled shot engine; nil if compilation failed
 	batch  *Batch   // 64-lane engine over prog; nil if compilation failed
 	engine Engine   // requested engine; resolved by useBatch
+	locs   int      // cached fault-location count; 0 until Locations runs
 }
 
 // NewEstimator builds the decoder for the protocol's code and compiles the

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/noise"
+)
+
+// Method selects the Monte-Carlo sampling method of the adaptive estimator.
+type Method uint8
+
+// Method values.
+const (
+	// MethodAuto picks the method by the crossover policy: the rare-event
+	// conditional estimator when conditioning on >= 1 fault discards at
+	// least half of the direct sampling effort (P(#faults >= 1) < 0.5),
+	// direct Monte-Carlo otherwise.
+	MethodAuto Method = iota
+
+	// MethodDirect forces direct Monte-Carlo sampling.
+	MethodDirect
+
+	// MethodRare forces the >= 1-fault conditional (rare-event) estimator;
+	// it requires a physical rate strictly inside (0, 1).
+	MethodRare
+)
+
+// ErrBadRate rejects physical rates the rare-event estimator cannot
+// condition on: p <= 0 has no faults to condition on, and p >= 1 makes the
+// conditioning vacuous (direct sampling is already exact there).
+var ErrBadRate = errors.New("sim: physical rate outside (0,1) for the rare-event estimator")
+
+// rareCrossover is the auto-selection threshold on P(#faults >= 1): below
+// it the conditional estimator needs fewer than half the shots of direct
+// Monte-Carlo for the same precision, which more than pays for its
+// per-location bookkeeping.
+const rareCrossover = 0.5
+
+// ParseMethod resolves a method name: "" and "auto" select MethodAuto,
+// "direct" and "rare" their methods.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "", "auto":
+		return MethodAuto, nil
+	case "direct":
+		return MethodDirect, nil
+	case "rare":
+		return MethodRare, nil
+	}
+	return MethodAuto, fmt.Errorf("sim: unknown method %q (want auto, direct or rare)", s)
+}
+
+// String returns the method's ParseMethod name.
+func (m Method) String() string {
+	switch m {
+	case MethodDirect:
+		return "direct"
+	case MethodRare:
+		return "rare"
+	default:
+		return "auto"
+	}
+}
+
+// Crossover reports the method MethodAuto resolves to at physical rate p:
+// MethodRare when 0 < p < 1 and P(#faults >= 1) = 1-(1-p)^N falls below the
+// crossover threshold, MethodDirect otherwise.
+func (est *Estimator) Crossover(p float64) Method {
+	if p > 0 && p < 1 && noise.CondProb(est.Locations(), p) < rareCrossover {
+		return MethodRare
+	}
+	return MethodDirect
+}
+
+// resolveMethod maps a requested method to the one that will run,
+// validating the rare-event rate requirement.
+func (est *Estimator) resolveMethod(m Method, p float64) (Method, error) {
+	switch m {
+	case MethodRare:
+		if p <= 0 || p >= 1 {
+			return m, fmt.Errorf("%w: p = %g", ErrBadRate, p)
+		}
+		return MethodRare, nil
+	case MethodDirect:
+		return MethodDirect, nil
+	default:
+		return est.Crossover(p), nil
+	}
+}
+
+// Adaptive is the method-dispatching adaptive estimation entry point: it
+// resolves the requested method against the crossover policy (MethodAuto)
+// and runs DirectMCAdaptive or RareEventAdaptive accordingly. The argument
+// contract is the union of the two: ErrBadShots, ErrBadTarget, and — for an
+// explicit MethodRare at a rate outside (0, 1) — ErrBadRate.
+func (est *Estimator) Adaptive(ctx context.Context, method Method, p, targetRSE float64, maxShots int, seed int64, workers int) (AdaptiveResult, error) {
+	m, err := est.resolveMethod(method, p)
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	if m == MethodRare {
+		r, err := est.RareEventAdaptive(ctx, p, targetRSE, maxShots, seed, workers)
+		if err != nil {
+			return AdaptiveResult{}, err
+		}
+		return r.AdaptiveResult, nil
+	}
+	return est.DirectMCAdaptive(ctx, p, targetRSE, maxShots, seed, workers)
+}

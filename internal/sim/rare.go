@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"repro/internal/noise"
+)
+
+// Locations returns the number of fault locations on the protocol's
+// fault-free path — the N of the fault-order and rare-event estimators —
+// counting it on first use and caching it on the estimator.
+func (est *Estimator) Locations() int {
+	if est.locs == 0 {
+		est.locs = Locations(est.P)
+	}
+	return est.locs
+}
+
+// rareMaxW is the highest separately-tracked fault-count stratum; shots
+// with more realized faults (possible only through correction blocks
+// extending the trajectory) collapse into it.
+const rareMaxW = 63
+
+// CondWeights returns the conditional fault-count distribution
+// P(K = w | K >= 1) for w = 0..maxW, where K ~ Binomial(n, p) counts faults
+// over the n locations of the fault-free path: weights[0] is always 0, and
+// weights[w] = C(n,w) p^w (1-p)^(n-w) / (1-(1-p)^n) for 1 <= w <= n (0 for
+// w > n). The weights over w = 1..n sum to exactly 1. Boundary rates take
+// their exact limits NaN/Inf-free: p <= 0 returns all zeros (the
+// conditional distribution does not exist), p >= 1 a point mass at w = n.
+func CondWeights(n, maxW int, p float64) []float64 {
+	weights := make([]float64, maxW+1)
+	if n <= 0 || p <= 0 {
+		return weights
+	}
+	if p >= 1 {
+		if n <= maxW {
+			weights[n] = 1
+		}
+		return weights
+	}
+	condP := noise.CondProb(n, p)
+	for w := 1; w <= maxW && w <= n; w++ {
+		// The log-space binomial mass can overshoot the exact ratio by a
+		// few ulps (exp(log p) != p); clamp so the result is always a
+		// probability.
+		if weights[w] = binomPMF(n, w, p) / condP; weights[w] > 1 {
+			weights[w] = 1
+		}
+	}
+	return weights
+}
+
+// RareStratum is one realized-fault-count stratum of a rare-event run.
+type RareStratum struct {
+	// W is the realized fault count of the stratum; the top stratum
+	// (W = 63) also absorbs any higher counts.
+	W int
+
+	// Shots and Fails are the conditional shots that realized W faults and
+	// how many of them failed.
+	Shots int
+	Fails int
+
+	// Weight is the stratum's conditional probability P(K = W | K >= 1)
+	// under the skeleton binomial model (0 when W exceeds the fault-free
+	// location count: those shots grew extra locations in correction
+	// blocks).
+	Weight float64
+}
+
+// RareEventResult reports a rare-event (>= 1-fault conditional) estimate:
+// the AdaptiveResult fields carry the pooled exact estimate
+// PL = CondP·Fails/Shots with its scaled Wilson interval, and the strata
+// break the same shots down by realized fault count, the
+// FaultOrder-compatible view (see ToFaultOrder).
+type RareEventResult struct {
+	AdaptiveResult
+
+	// N is the number of fault locations on the fault-free path.
+	N int
+
+	// Q is the conditional failure proportion Fails/Shots, i.e.
+	// P(logical error | >= 1 fault); PL = CondP·Q.
+	Q float64
+
+	// Strata holds the realized-fault-count strata that received at least
+	// one shot, in increasing W order.
+	Strata []RareStratum
+}
+
+// ToFaultOrder converts the stratified view into a FaultOrderResult: F[w]
+// is the sampled conditional failure probability given w realized faults
+// (F[0] = 0 exactly — a fault-free shot follows the deterministic
+// fault-free path and cannot fail), up to the highest stratum that
+// received shots. Rate/RateLower then recombine the strata under the
+// binomial location weights, which reproduces the pooled PL up to
+// post-stratification noise and lets rare-event runs feed every consumer
+// of the subset-sampling estimator.
+func (r RareEventResult) ToFaultOrder() FaultOrderResult {
+	maxW := 0
+	for _, s := range r.Strata {
+		if s.W > maxW {
+			maxW = s.W
+		}
+	}
+	f := make([]float64, maxW+1)
+	for _, s := range r.Strata {
+		if s.Shots > 0 {
+			f[s.W] = float64(s.Fails) / float64(s.Shots)
+		}
+	}
+	return FaultOrderResult{N: r.N, F: f}
+}
+
+// RareEventAdaptive estimates the logical error rate at physical rate p by
+// >= 1-fault conditional sampling: every shot is drawn from the exact
+// conditional fault distribution (see noise.CondSampler), so no sampling
+// effort is spent on the fault-free shots that dominate direct Monte-Carlo
+// at low rates, and the conditional failure proportion q is reweighted by
+// the exact conditioning probability CondP = 1-(1-p)^N to the unconditional
+// PL = CondP·q. The stopping rule, block scheduling, worker-count
+// determinism, and argument contract match DirectMCAdaptive (targetRSE
+// applies to PL, whose relative error equals that of q since CondP is an
+// exact constant); additionally p must lie strictly inside (0, 1)
+// (ErrBadRate — outside it the conditional distribution does not exist).
+//
+// Alongside the pooled estimate the result bins shots by realized fault
+// count, yielding FaultOrder-compatible strata plus the Kish effective
+// sample size and weight variance of the post-stratification weights.
+func (est *Estimator) RareEventAdaptive(ctx context.Context, p float64, targetRSE float64, maxShots int, seed int64, workers int) (RareEventResult, error) {
+	if maxShots <= 0 {
+		return RareEventResult{}, fmt.Errorf("%w: %d max shots", ErrBadShots, maxShots)
+	}
+	if targetRSE < 0 || targetRSE >= 1 {
+		return RareEventResult{}, fmt.Errorf("%w: %g outside [0,1)", ErrBadTarget, targetRSE)
+	}
+	if p <= 0 || p >= 1 {
+		return RareEventResult{}, fmt.Errorf("%w: p = %g", ErrBadRate, p)
+	}
+	n := est.Locations()
+	if n <= 0 {
+		return RareEventResult{}, fmt.Errorf("%w: protocol has no fault locations", ErrBadRate)
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+
+	type stratum struct{ shots, fails int }
+	type workerState struct {
+		smp    *noise.CondSampler
+		bs     *BatchShot
+		cj     *noise.CondInjector
+		sh     *Shot
+		strata [rareMaxW + 1]stratum
+	}
+	useBatch := est.useBatch()
+	ws := make([]*workerState, workers)
+	for w := range ws {
+		st := &workerState{}
+		if useBatch {
+			st.smp = noise.NewCondSampler(p, n, 0)
+			st.bs = est.batch.NewShot()
+		} else {
+			st.cj = noise.NewCondInjector(p, n, 0)
+			if est.prog != nil {
+				st.sh = est.prog.NewShot()
+			}
+		}
+		ws[w] = st
+	}
+
+	runBlock := func(w, b, nShots int) int {
+		st := ws[w]
+		count := 0
+		switch {
+		case useBatch:
+			st.smp.Reseed(blockSeed(seed, b))
+			for i := 0; i < nShots; i += 64 {
+				if ctx.Err() != nil {
+					return count
+				}
+				live := ^uint64(0)
+				if rem := nShots - i; rem < 64 {
+					live = 1<<uint(rem) - 1
+				}
+				st.smp.Reset(live)
+				est.batch.Run(st.bs, st.smp, live)
+				failed := est.batch.Judge(st.bs) & live
+				count += bits.OnesCount64(failed)
+				for l := live; l != 0; l &= l - 1 {
+					lane := uint(bits.TrailingZeros64(l))
+					k := int(st.smp.Faults[lane])
+					if k > rareMaxW {
+						k = rareMaxW
+					}
+					st.strata[k].shots++
+					if failed>>lane&1 == 1 {
+						st.strata[k].fails++
+					}
+				}
+			}
+		case est.prog != nil:
+			st.cj.Reseed(blockSeed(seed, b))
+			for i := 0; i < nShots; i++ {
+				if i%ctxPollShots == 0 && ctx.Err() != nil {
+					return count
+				}
+				st.cj.Reset()
+				est.prog.Run(st.sh, st.cj)
+				k := st.cj.Faults
+				if k > rareMaxW {
+					k = rareMaxW
+				}
+				st.strata[k].shots++
+				if est.prog.Judge(st.sh) {
+					st.strata[k].fails++
+					count++
+				}
+			}
+		default:
+			st.cj.Reseed(blockSeed(seed, b))
+			for i := 0; i < nShots; i++ {
+				if i%ctxPollShots == 0 && ctx.Err() != nil {
+					return count
+				}
+				st.cj.Reset()
+				out := Run(est.P, st.cj)
+				k := st.cj.Faults
+				if k > rareMaxW {
+					k = rareMaxW
+				}
+				st.strata[k].shots++
+				if est.Judge(out) {
+					st.strata[k].fails++
+					count++
+				}
+			}
+		}
+		return count
+	}
+
+	start := time.Now()
+	shots, fails, err := runAdaptive(ctx, targetRSE, maxShots, workers, runBlock)
+	if err != nil {
+		return RareEventResult{}, err
+	}
+
+	// Merge the per-worker strata; integer sums are order-independent, so
+	// the totals share the block scheduler's worker-count determinism.
+	var pooled [rareMaxW + 1]stratum
+	for _, st := range ws {
+		for k, s := range st.strata {
+			pooled[k].shots += s.shots
+			pooled[k].fails += s.fails
+		}
+	}
+
+	condP := noise.CondProb(n, p)
+	q := float64(fails) / float64(shots)
+	res := RareEventResult{
+		AdaptiveResult: AdaptiveResult{
+			PL:     condP * q,
+			Shots:  shots,
+			Fails:  fails,
+			Method: MethodRare,
+			CondP:  condP,
+		},
+		N: n,
+		Q: q,
+	}
+	if fails > 0 {
+		res.RSE = math.Sqrt((1 - q) / float64(fails))
+	}
+	lo, hi := Wilson(fails, shots)
+	res.CILo, res.CIHi = condP*lo, condP*hi
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		res.ShotsPerSec = float64(shots) / elapsed
+	}
+
+	// Post-stratification diagnostics: each observed stratum w carries
+	// conditional probability mass weights[w] spread over its shots, so the
+	// Kish effective sample size is (Σ_w W_w)² / (Σ_w W_w²/shots_w).
+	weights := CondWeights(n, rareMaxW, p)
+	var sumW, sumW2 float64
+	for k, s := range pooled {
+		if s.shots == 0 {
+			continue
+		}
+		res.Strata = append(res.Strata, RareStratum{
+			W: k, Shots: s.shots, Fails: s.fails, Weight: weights[k],
+		})
+		sumW += weights[k]
+		sumW2 += weights[k] * weights[k] / float64(s.shots)
+	}
+	res.EffectiveSamples = float64(shots)
+	if sumW2 > 0 {
+		res.EffectiveSamples = sumW * sumW / sumW2
+	}
+	if res.EffectiveSamples > 0 {
+		res.WeightVariance = math.Max(0, float64(shots)/res.EffectiveSamples-1)
+	}
+	return res, nil
+}
