@@ -12,12 +12,22 @@
 // solver work, so re-running precompute after adding one code to the list
 // only pays for the new code.
 //
+// With -estimate it additionally runs (or resumes) one persistent
+// estimation job per synthesized protocol — by default the paper's Fig. 4
+// curve at an adaptive 10% relative standard error — storing the
+// checkpointed job file next to the protocol in the same directory (see
+// docs/job-format.md). Curves already complete are detected through the
+// job's content address and skipped without sampling; an interrupted run
+// (Ctrl-C checkpoints in-flight shards) resumes from its last checkpoint
+// on the next invocation, finishing bit-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	precompute -store-dir ./protocols                    # whole catalog
 //	precompute -store-dir ./protocols -codes Steane,Shor
 //	precompute -store-dir ./protocols -prep opt -verif global
 //	precompute -store-dir ./protocols -list              # show what is stored
+//	precompute -store-dir ./data -codes Steane -estimate # protocols + curves
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -53,6 +64,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		flagAll  = fs.Bool("flag-all", false, "force a flag on every verification measurement")
 		timeout  = fs.Duration("timeout", 0, "overall deadline (0: none)")
 		list     = fs.Bool("list", false, "list the store's contents instead of synthesizing")
+
+		estimate  = fs.Bool("estimate", false, "also run (or resume) a persistent estimation job per protocol, stored next to it")
+		rates     = fs.String("rates", "", "-estimate: comma-separated physical rates (default: the paper's Fig. 4 grid)")
+		targetRSE = fs.Float64("target-rse", 0.1, "-estimate: adaptive stopping RSE (set 0 with -mc-shots for a fixed budget)")
+		mcShots   = fs.Int("mc-shots", 0, "-estimate: fixed Monte-Carlo shots per rate instead of adaptive sampling")
+		seed      = fs.Int64("seed", 0, "-estimate: sampling seed (default 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -125,7 +142,94 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if failed > 0 || st.WriteFailures > 0 {
 		return 1
 	}
+	if *estimate {
+		eo := dftsp.EstimateOptions{TargetRSE: *targetRSE, MCShots: *mcShots, Seed: *seed}
+		if *rates != "" {
+			for _, f := range strings.Split(*rates, ",") {
+				r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					fmt.Fprintf(stderr, "precompute: bad rate %q: %v\n", f, err)
+					return 2
+				}
+				eo.Rates = append(eo.Rates, r)
+			}
+		}
+		return estimateCurves(ctx, svc, items, results, eo, stdout, stderr)
+	}
 	return 0
+}
+
+// estimateCurves runs one persistent estimation job per synthesized
+// protocol, sequentially (each job already fans out over the machine's
+// workers). Finished curves are recognized by the job's content address and
+// skipped; a cancelled ctx checkpoints the in-flight job and leaves it
+// paused for the next run to resume.
+func estimateCurves(ctx context.Context, svc *dftsp.Service, items []dftsp.Options, results []dftsp.BatchResult, eo dftsp.EstimateOptions, stdout, stderr io.Writer) int {
+	if err := svc.AttachJobs(svc.StoreDir(), ""); err != nil {
+		fmt.Fprintln(stderr, "precompute:", err)
+		return 1
+	}
+	defer svc.ShutdownJobs(context.Background())
+
+	start := time.Now()
+	var estimated, complete, paused, failed int
+	for i, r := range results {
+		if r.Err != nil {
+			continue // synthesis already failed and was reported
+		}
+		code := items[i].Code
+		st, err := svc.SubmitJob(ctx, items[i], eo)
+		if err != nil {
+			fmt.Fprintf(stderr, "failed    %s curve: %s\n", code, err)
+			failed++
+			continue
+		}
+		if st.State == dftsp.JobStateDone {
+			fmt.Fprintf(stdout, "curve     %s already complete (%s)\n", code, st.ID)
+			complete++
+			continue
+		}
+		fmt.Fprintf(stdout, "sampling  %s (%s)\n", code, st.ID)
+		final := awaitJob(ctx, svc, st.ID)
+		switch final.State {
+		case dftsp.JobStateDone:
+			fmt.Fprintf(stdout, "estimated %s: %d points, %d shots (%s)\n", code, len(final.Points), final.Shots, final.ID)
+			estimated++
+		case dftsp.JobStateFailed:
+			fmt.Fprintf(stderr, "failed    %s curve: %s\n", code, final.Error)
+			failed++
+		default:
+			// Paused by cancellation: durable, resumes on the next run.
+			fmt.Fprintf(stdout, "paused    %s at %d shots; re-run to resume (%s)\n", code, final.Shots, final.ID)
+			paused++
+		}
+	}
+	fmt.Fprintf(stdout, "precompute: %d curves estimated, %d already complete, %d paused, %d failed in %v\n",
+		estimated, complete, paused, failed, time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// awaitJob polls until the job leaves the running state. On ctx
+// cancellation it checkpoints in-flight shards (graceful shutdown) before
+// reporting the job's settled state.
+func awaitJob(ctx context.Context, svc *dftsp.Service, id string) dftsp.JobStatus {
+	for {
+		st, err := svc.Job(id)
+		if err != nil {
+			return dftsp.JobStatus{ID: id, State: dftsp.JobStateFailed, Error: err.Error()}
+		}
+		if st.State != dftsp.JobStateRunning {
+			return st
+		}
+		select {
+		case <-ctx.Done():
+			svc.ShutdownJobs(context.Background())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
 }
 
 // listStore prints one line per stored protocol.

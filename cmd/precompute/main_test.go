@@ -78,3 +78,63 @@ func TestPrecomputeRequiresStoreDir(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestPrecomputeEstimateWritesAndSkipsCurves(t *testing.T) {
+	dir := t.TempDir()
+
+	// Synthesize the protocol and run its curve job with a small fixed
+	// budget over a two-point grid.
+	args := []string{"-store-dir", dir, "-codes", "Steane", "-estimate",
+		"-rates", "0.03,0.05", "-target-rse", "0", "-mc-shots", "9000", "-seed", "5"}
+	code, out, errOut := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "sampling  Steane") || !strings.Contains(out, "estimated Steane: 2 points, 18000 shots") {
+		t.Fatalf("estimate progress missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 curves estimated, 0 already complete, 0 paused, 0 failed") {
+		t.Fatalf("estimate summary wrong:\n%s", out)
+	}
+
+	// The job file sits next to the protocol entry in the same directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dfp, dfj int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".dfp"):
+			dfp++
+		case strings.HasSuffix(e.Name(), ".dfj"):
+			dfj++
+		}
+	}
+	if dfp != 1 || dfj != 1 {
+		t.Fatalf("store holds %d protocols and %d jobs, want 1 and 1", dfp, dfj)
+	}
+
+	// Re-running skips both the synthesis and the finished curve.
+	code, out, errOut = runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("rerun exit %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "curve     Steane already complete") {
+		t.Fatalf("rerun did not skip the finished curve:\n%s", out)
+	}
+	if !strings.Contains(out, "0 curves estimated, 1 already complete, 0 paused, 0 failed") {
+		t.Fatalf("rerun summary wrong:\n%s", out)
+	}
+	if strings.Contains(out, "sampling  Steane") {
+		t.Fatalf("rerun sampled a complete curve:\n%s", out)
+	}
+}
+
+func TestPrecomputeEstimateRejectsBadRates(t *testing.T) {
+	code, _, errOut := runCLI(t, "-store-dir", t.TempDir(), "-codes", "Steane",
+		"-estimate", "-rates", "banana", "-mc-shots", "10")
+	if code != 2 || !strings.Contains(errOut, "bad rate") {
+		t.Fatalf("exit %d stderr %q, want 2 with bad-rate detail", code, errOut)
+	}
+}

@@ -28,6 +28,23 @@
 //	GET  /protocols   protocols servable without synthesis (memory and store)
 //	GET  /stats       cache, store and worker-pool counters
 //	GET  /healthz     liveness probe
+//	GET  /readyz      readiness probe (503 while booting or draining)
+//
+// With -jobs-dir the server additionally exposes persistent estimation
+// jobs (see docs/job-format.md): sampling runs in the background as small
+// checkpointed shards, survives restarts, and resumes automatically at the
+// next boot. -jobs-dir may equal -store-dir; job files and protocol
+// entries coexist in one directory.
+//
+//	POST /jobs               {"options":...,"estimate":...}  → 202 + job status
+//	GET  /jobs               all known jobs (running and on disk)
+//	GET  /jobs/{id}          one job's status
+//	GET  /jobs/{id}/events   NDJSON: one status line, then progress events
+//	POST /jobs/{id}/cancel   stop a running job, keeping its checkpoints
+//
+// On SIGINT/SIGTERM the server flips /readyz to 503, checkpoints and
+// pauses running jobs (they resume on the next boot), then drains in-flight
+// requests.
 //
 // /estimate also accepts adaptive sampling options — "target_rse" (relative
 // standard error to stop at), "max_shots" (per-rate cap, default 1e7),
@@ -63,6 +80,7 @@
 //
 //	server -addr :8080 -workers 8 -timeout 5m
 //	server -store-dir /var/lib/dftsp/protocols
+//	server -store-dir /var/lib/dftsp -jobs-dir /var/lib/dftsp
 //	DFTSP_WORKERS=8 server
 package main
 
@@ -76,6 +94,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -84,10 +103,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "Monte-Carlo workers per estimation job (0: DFTSP_WORKERS or CPU count)")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "per-request timeout (0: none)")
-		storeDir = flag.String("store-dir", "", "persistent protocol store directory, preloaded at boot (empty: memory-only)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "Monte-Carlo workers per estimation job (0: DFTSP_WORKERS or CPU count)")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "per-request timeout (0: none)")
+		storeDir    = flag.String("store-dir", "", "persistent protocol store directory, preloaded at boot (empty: memory-only)")
+		jobsDir     = flag.String("jobs-dir", "", "persistent estimation-job directory; enables the /jobs API (empty: disabled)")
+		workersAddr = flag.String("workers-addr", "", "remote worker replica address for job shards (reserved; no transport yet)")
 	)
 	flag.Parse()
 
@@ -103,6 +124,19 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("dftsp server warm-started %d protocols from %s (%d unreadable entries skipped)", loaded, *storeDir, skipped)
+	}
+	if *jobsDir != "" {
+		if err := svc.AttachJobs(*jobsDir, *workersAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "server:", err)
+			os.Exit(1)
+		}
+		// A resume failure (e.g. a job whose protocol is gone) must not
+		// keep the server down; the affected jobs simply stay paused.
+		resumed, err := svc.ResumeJobs()
+		if err != nil {
+			log.Printf("dftsp server: resuming jobs: %v", err)
+		}
+		log.Printf("dftsp server resumed %d unfinished jobs from %s", len(resumed), *jobsDir)
 	}
 	srv := newServer(svc, *timeout)
 	hs := &http.Server{Addr: *addr, Handler: srv}
@@ -121,8 +155,15 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("dftsp server shutting down")
+	// Drain order: stop admitting (readyz 503), checkpoint and pause jobs
+	// (closing their event streams, so /jobs/{id}/events handlers return),
+	// then drain the remaining in-flight requests.
+	srv.setReady(false)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if err := svc.ShutdownJobs(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "server: job shutdown:", err)
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "server: shutdown:", err)
 		os.Exit(1)
@@ -134,20 +175,39 @@ type server struct {
 	svc     *dftsp.Service
 	mux     *http.ServeMux
 	timeout time.Duration // per-request deadline; 0 disables
+
+	// ready backs /readyz: true once the server can take traffic, false
+	// again while it drains. newServer starts ready because main attaches
+	// stores, warm-starts and resumes jobs before wiring the routes.
+	ready atomic.Bool
 }
 
 // newServer wires the routes. timeout, when positive, bounds every
-// request's context, so a stuck client cannot pin SAT work forever.
+// request's context, so a stuck client cannot pin SAT work forever. The
+// /jobs API is registered only when the service has a job store attached;
+// without one the routes simply 404.
 func newServer(svc *dftsp.Service, timeout time.Duration) *server {
 	s := &server{svc: svc, mux: http.NewServeMux(), timeout: timeout}
+	s.ready.Store(true)
 	s.mux.HandleFunc("/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/protocols", s.handleProtocols)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if svc.JobsDir() != "" {
+		s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+		s.mux.HandleFunc("GET /jobs", s.handleJobList)
+		s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+		s.mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+		s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
+	}
 	return s
 }
+
+// setReady flips the /readyz readiness state.
+func (s *server) setReady(ready bool) { s.ready.Store(ready) }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.timeout > 0 {
@@ -165,6 +225,8 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, dftsp.ErrJobNotFound):
+		return http.StatusNotFound
 	case errors.Is(err, dftsp.ErrBadOptions):
 		return http.StatusBadRequest
 	case errors.Is(err, dftsp.ErrSynthesis), errors.Is(err, dftsp.ErrCertification):
@@ -339,6 +401,131 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz is the readiness probe, distinct from the /healthz liveness
+// probe: healthz answers "is the process alive", readyz answers "should a
+// load balancer route traffic here". It reports 503 while the server drains
+// for shutdown (liveness stays green so the orchestrator does not kill a
+// draining pod) and describes which persistence layers are attached.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	resp := map[string]any{
+		"ok":    s.ready.Load(),
+		"store": s.svc.StoreDir() != "",
+		"jobs":  s.svc.JobsDir() != "",
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobSubmit accepts the /estimate request shape and submits it as a
+// persistent job, returning 202 with the job's (typically still running)
+// status. Resubmitting an identical request attaches to the existing job.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	st, err := s.svc.SubmitJob(r.Context(), req.Options, req.Estimate)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// jobsResponse lists every known job.
+type jobsResponse struct {
+	Count int               `json:"count"`
+	Jobs  []dftsp.JobStatus `json:"jobs"`
+}
+
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	all, err := s.svc.Jobs()
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobsResponse{Count: len(all), Jobs: all})
+}
+
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobEvents streams a job's progress as application/x-ndjson: the
+// first line is the job's full status at subscription time, every following
+// line one progress event (see dftsp.JobEvent), flushed as it happens. The
+// stream ends when the job settles, the client disconnects, or the server
+// shuts down; events are hints and may be dropped under backpressure — the
+// status line and GET /jobs/{id} are authoritative.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, stop, err := s.svc.WatchJob(id)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	defer stop()
+	st, err := s.svc.Job(id)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(st); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return // job settled
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleJobCancel stops a running job (its checkpoints remain; submitting
+// the same request later resumes it) and reports the settled status.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.svc.CancelJob(id); err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	st, err := s.svc.Job(id)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // decodePost enforces the POST+JSON contract shared by the work endpoints,

@@ -547,3 +547,301 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
 }
+
+// newJobsServer builds a server with jobs (and optionally the protocol
+// store) attached to dir, returning the service for direct inspection.
+func newJobsServer(t *testing.T, dir string) (*httptest.Server, *dftsp.Service, *server) {
+	t.Helper()
+	svc := dftsp.NewService(2)
+	if err := svc.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AttachJobs(dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(svc, 0)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		svc.ShutdownJobs(context.Background())
+	})
+	return ts, svc, srv
+}
+
+func TestReadyzTracksDrainState(t *testing.T) {
+	svc := dftsp.NewService(2)
+	srv := newServer(svc, 0)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	get := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	status, body := get()
+	if status != http.StatusOK || body["ok"] != true {
+		t.Fatalf("ready server: %d %v", status, body)
+	}
+	if body["jobs"] != false || body["store"] != false {
+		t.Fatalf("memory-only server reports attached layers: %v", body)
+	}
+
+	srv.setReady(false)
+	if status, body = get(); status != http.StatusServiceUnavailable || body["ok"] != true {
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("draining server: status %d, want 503", status)
+		}
+	}
+
+	// Liveness stays green while draining.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %d", resp.StatusCode)
+	}
+}
+
+func TestJobsRoutesAbsentWithoutJobStore(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /jobs without a job store: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestJobsEndToEnd(t *testing.T) {
+	ts, _, _ := newJobsServer(t, t.TempDir())
+
+	// Submit: the /estimate request shape, accepted asynchronously.
+	body := `{"options":{"code":"Steane"},"estimate":{"rates":[0.03],"mc_shots":9000,"seed":5}}`
+	status, sub := postJSON(t, ts.URL+"/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d: %v", status, sub)
+	}
+	id, _ := sub["id"].(string)
+	if len(id) != 32 {
+		t.Fatalf("job id %q is not a content address", id)
+	}
+
+	// Stream events until the job settles: first line is the status
+	// snapshot, the rest are events ending in a terminal one.
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/events: status %d", id, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("event stream ended before the status line")
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+		t.Fatalf("status line: %v", err)
+	}
+	if snap["id"] != id {
+		t.Fatalf("status line for job %v, want %s", snap["id"], id)
+	}
+	sawTerminal := ""
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %q: %v", sc.Text(), err)
+		}
+		switch ev["type"] {
+		case "done", "failed", "cancelled", "paused":
+			sawTerminal, _ = ev["type"].(string)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream may have attached after the job settled (zero events) —
+	// but if any terminal event arrived it must be "done".
+	if sawTerminal != "" && sawTerminal != "done" {
+		t.Fatalf("terminal event %q, want done", sawTerminal)
+	}
+
+	// Status: settled as done, with per-point results.
+	status, st := postJSONGet(t, ts.URL+"/jobs/"+id)
+	if status != http.StatusOK || st["state"] != "done" {
+		t.Fatalf("GET /jobs/%s: status %d state %v (%v)", id, status, st["state"], st["error"])
+	}
+	points, _ := st["points"].([]any)
+	if len(points) != 1 {
+		t.Fatalf("job has %d points, want 1", len(points))
+	}
+	pt, _ := points[0].(map[string]any)
+	if pt["done"] != true || pt["shots"] != float64(9000) {
+		t.Fatalf("point not finished with the full budget: %v", pt)
+	}
+
+	// List: exactly this job.
+	status, list := postJSONGet(t, ts.URL+"/jobs")
+	if status != http.StatusOK || list["count"] != float64(1) {
+		t.Fatalf("GET /jobs: status %d body %v", status, list)
+	}
+
+	// Resubmitting the identical request attaches to the finished job.
+	status, again := postJSON(t, ts.URL+"/jobs", body)
+	if status != http.StatusAccepted || again["id"] != id || again["state"] != "done" {
+		t.Fatalf("resubmit: status %d body %v", status, again)
+	}
+
+	// The job's result matches a plain /estimate of the same options
+	// bit-for-bit (shared seed derivation and pooled-count finisher).
+	status, est := postJSON(t, ts.URL+"/estimate", body)
+	if status != http.StatusOK {
+		t.Fatalf("estimate: status %d: %v", status, est)
+	}
+	epts, _ := est["points"].([]any)
+	ept, _ := epts[0].(map[string]any)
+	for jobField, estField := range map[string]string{
+		"pl": "mc", "rse": "rse", "ci_lo": "ci_lo", "ci_hi": "ci_hi",
+	} {
+		if pt[jobField] != ept[estField] {
+			t.Errorf("job %s = %v, estimate %s = %v", jobField, pt[jobField], estField, ept[estField])
+		}
+	}
+}
+
+func TestJobsErrorMapping(t *testing.T) {
+	ts, _, _ := newJobsServer(t, t.TempDir())
+
+	// Unknown job → 404 on every per-job route.
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/jobs/feedfacefeedfacefeedfacefeedface"},
+		{"GET", "/jobs/feedfacefeedfacefeedfacefeedface/events"},
+		{"POST", "/jobs/feedfacefeedfacefeedfacefeedface/cancel"},
+	} {
+		req, err := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+
+	// Bad submissions → 400.
+	for _, body := range []string{
+		`{"options":{"code":"Steane"},"estimate":{"rates":[0.03]}}`,              // no budget
+		`{"options":{"code":"Steane"},"estimate":{"rates":[2],"mc_shots":1000}}`, // bad rate
+		`{"options":{"code":"NoSuchCode"},"estimate":{"mc_shots":1000}}`,         // unknown code
+		`{"options":{"code":"Steane"},"estimate":{"mc_shots":-1}}`,               // negative budget
+	} {
+		if status, resp := postJSON(t, ts.URL+"/jobs", body); status != http.StatusBadRequest {
+			t.Errorf("POST /jobs %s: status %d (%v), want 400", body, status, resp)
+		}
+	}
+
+	// Wrong method → 405 via the method-pattern router.
+	resp, err := http.Post(ts.URL+"/jobs/feedfacefeedfacefeedfacefeedface", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST on a GET route: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestJobsCancelAndServerRestart drives the operational story over HTTP: a
+// slow job is cancelled mid-run (checkpoints retained), then a "restarted"
+// server over the same directory resumes it to completion.
+func TestJobsCancelAndServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts1, _, _ := newJobsServer(t, dir)
+
+	body := `{"options":{"code":"Steane"},"estimate":{"rates":[0.04],"mc_shots":163840,"engine":"scalar","seed":3}}`
+	status, sub := postJSON(t, ts1.URL+"/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d: %v", status, sub)
+	}
+	id, _ := sub["id"].(string)
+
+	status, cancelled := postJSON(t, ts1.URL+"/jobs/"+id+"/cancel", "{}")
+	switch status {
+	case http.StatusOK:
+		if cancelled["state"] != "cancelled" && cancelled["state"] != "done" {
+			t.Fatalf("after cancel: state %v", cancelled["state"])
+		}
+	case http.StatusNotFound:
+		// The job finished before the cancel landed; nothing to resume
+		// below, but the resubmit path still must return it as done.
+	default:
+		t.Fatalf("cancel: status %d: %v", status, cancelled)
+	}
+	ts1.Close()
+
+	// Fresh server, same directory: resubmitting resumes from the durable
+	// checkpoints and runs to completion.
+	ts2, _, _ := newJobsServer(t, dir)
+	if status, _ := postJSON(t, ts2.URL+"/jobs", body); status != http.StatusAccepted {
+		t.Fatalf("resubmit on restarted server: status %d", status)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		status, st := postJSONGet(t, ts2.URL+"/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: status %d", id, status)
+		}
+		if st["state"] == "done" {
+			points, _ := st["points"].([]any)
+			pt, _ := points[0].(map[string]any)
+			if pt["shots"] != float64(163840) {
+				t.Fatalf("resumed job ran %v shots, want 163840", pt["shots"])
+			}
+			break
+		}
+		if st["state"] == "failed" {
+			t.Fatalf("resumed job failed: %v", st["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %v", st["state"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// postJSONGet GETs a URL and decodes the JSON response.
+func postJSONGet(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}

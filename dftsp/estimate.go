@@ -278,8 +278,10 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 	for i, r := range eo.Rates {
 		pt := RatePoint{P: r, PL: fo.Rate(r)}
 		if (eo.MCShots > 0 || adaptive) && r >= eo.MCMinRate {
-			// Offset the seed per point so rates do not share RNG streams.
-			seed := eo.Seed + int64(i+1)*0x51ED270B
+			// Offset the seed per point so rates do not share RNG streams;
+			// the rule is shared with the job layer (sim.PointSeed), so a
+			// sharded job over the same grid samples identical streams.
+			seed := sim.PointSeed(eo.Seed, i)
 			target, budget := 0.0, eo.MCShots
 			if adaptive {
 				target, budget = eo.TargetRSE, eo.MaxShots

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/jobs"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -31,6 +32,7 @@ type Service struct {
 	mu        sync.Mutex
 	entries   map[string]*cacheEntry
 	store     *store.Store // nil: memory-only
+	jobRunner *jobs.Runner // nil: no job store attached (AttachJobs)
 	hits      uint64
 	misses    uint64
 	coalesced uint64

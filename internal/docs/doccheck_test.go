@@ -1,8 +1,9 @@
 // Package docs holds repository-wide documentation enforcement: its test
 // fails the build when an exported identifier of the public facade (dftsp)
-// or of the persistence layer (internal/store) lacks a doc comment, which
-// is what keeps "every exported identifier is documented" true over time
-// instead of being a one-off cleanup. CI runs it as part of the docs job.
+// or of the persistence layers (internal/store, internal/jobs) lacks a doc
+// comment, which is what keeps "every exported identifier is documented"
+// true over time instead of being a one-off cleanup. CI runs it as part of
+// the docs job.
 package docs
 
 import (
@@ -20,6 +21,7 @@ import (
 var checkedPackages = []string{
 	"../../dftsp",
 	"../../internal/store",
+	"../../internal/jobs",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

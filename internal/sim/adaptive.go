@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/bits"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,7 +138,7 @@ func runAdaptive(ctx context.Context, targetRSE float64, maxShots, workers int, 
 		shots = endShot
 		start = end
 		if targetRSE > 0 && fails > 0 {
-			if rse := math.Sqrt((1 - float64(fails)/float64(shots)) / float64(fails)); rse <= targetRSE {
+			if rse := RSE(int64(fails), int64(shots)); rse <= targetRSE {
 				break
 			}
 		}
@@ -177,74 +175,17 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 		workers = DefaultWorkers()
 	}
 
-	// Per-worker scratch persists across blocks; the RNG state is re-keyed
-	// per block so the scratch owner does not matter.
-	type workerState struct {
-		inj *noise.Depolarizing
-		sh  *Shot
-		smp *noise.SparseSampler
-		bs  *BatchShot
-	}
-	useBatch := est.useBatch()
-	ws := make([]*workerState, workers)
+	// Per-worker block runners persist across blocks; the RNG state is
+	// re-keyed per block so the runner owner does not matter.
+	ws := make([]*BlockRunner, workers)
 	for w := range ws {
-		st := &workerState{}
-		if useBatch {
-			st.smp = noise.NewSparseSampler(p, 0)
-			st.bs = est.batch.NewShot()
-		} else {
-			st.inj = &noise.Depolarizing{P: p, Rng: rand.New(rand.NewSource(0))}
-			if est.prog != nil {
-				st.sh = est.prog.NewShot()
-			}
+		r, err := est.NewBlockRunner(MethodDirect, p)
+		if err != nil {
+			return AdaptiveResult{}, err
 		}
-		ws[w] = st
+		ws[w] = r
 	}
-
-	runBlock := func(w, b, n int) int {
-		st := ws[w]
-		count := 0
-		switch {
-		case useBatch:
-			st.smp.Reseed(blockSeed(seed, b))
-			// One 64-lane word per iteration; the final word is masked to
-			// the remainder so exactly n shots run and the reported total
-			// can never exceed maxShots.
-			for i := 0; i < n; i += 64 {
-				if ctx.Err() != nil {
-					return count
-				}
-				live := ^uint64(0)
-				if rem := n - i; rem < 64 {
-					live = 1<<uint(rem) - 1
-				}
-				est.batch.Run(st.bs, st.smp, live)
-				count += bits.OnesCount64(est.batch.Judge(st.bs))
-			}
-		case est.prog != nil:
-			st.inj.Rng.Seed(int64(blockSeed(seed, b)))
-			for i := 0; i < n; i++ {
-				if i%ctxPollShots == 0 && ctx.Err() != nil {
-					return count
-				}
-				est.prog.Run(st.sh, st.inj)
-				if est.prog.Judge(st.sh) {
-					count++
-				}
-			}
-		default:
-			st.inj.Rng.Seed(int64(blockSeed(seed, b)))
-			for i := 0; i < n; i++ {
-				if i%ctxPollShots == 0 && ctx.Err() != nil {
-					return count
-				}
-				if est.Judge(Run(est.P, st.inj)) {
-					count++
-				}
-			}
-		}
-		return count
-	}
+	runBlock := func(w, b, n int) int { return ws[w].RunBlock(ctx, seed, b, n) }
 
 	start := time.Now()
 	shots, fails, err := runAdaptive(ctx, targetRSE, maxShots, workers, runBlock)
@@ -252,18 +193,10 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 		return AdaptiveResult{}, err
 	}
 
-	res := AdaptiveResult{
-		PL:               float64(fails) / float64(shots),
-		Shots:            shots,
-		Fails:            fails,
-		Method:           MethodDirect,
-		CondP:            1,
-		EffectiveSamples: float64(shots),
+	res, err := Counts{Shots: int64(shots), Fails: int64(fails)}.Result(MethodDirect, p, 0)
+	if err != nil {
+		return AdaptiveResult{}, err
 	}
-	if fails > 0 {
-		res.RSE = math.Sqrt((1 - res.PL) / float64(fails))
-	}
-	res.CILo, res.CIHi = Wilson(fails, shots)
 	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
 		res.ShotsPerSec = float64(shots) / elapsed
 	}

@@ -3,8 +3,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math"
-	"math/bits"
 	"time"
 
 	"repro/internal/noise"
@@ -150,99 +148,17 @@ func (est *Estimator) RareEventAdaptive(ctx context.Context, p float64, targetRS
 		workers = DefaultWorkers()
 	}
 
-	type stratum struct{ shots, fails int }
-	type workerState struct {
-		smp    *noise.CondSampler
-		bs     *BatchShot
-		cj     *noise.CondInjector
-		sh     *Shot
-		strata [rareMaxW + 1]stratum
-	}
-	useBatch := est.useBatch()
-	ws := make([]*workerState, workers)
+	// Per-worker block runners; the RNG state is re-keyed per block so the
+	// runner owner does not matter.
+	ws := make([]*BlockRunner, workers)
 	for w := range ws {
-		st := &workerState{}
-		if useBatch {
-			st.smp = noise.NewCondSampler(p, n, 0)
-			st.bs = est.batch.NewShot()
-		} else {
-			st.cj = noise.NewCondInjector(p, n, 0)
-			if est.prog != nil {
-				st.sh = est.prog.NewShot()
-			}
+		r, err := est.NewBlockRunner(MethodRare, p)
+		if err != nil {
+			return RareEventResult{}, err
 		}
-		ws[w] = st
+		ws[w] = r
 	}
-
-	runBlock := func(w, b, nShots int) int {
-		st := ws[w]
-		count := 0
-		switch {
-		case useBatch:
-			st.smp.Reseed(blockSeed(seed, b))
-			for i := 0; i < nShots; i += 64 {
-				if ctx.Err() != nil {
-					return count
-				}
-				live := ^uint64(0)
-				if rem := nShots - i; rem < 64 {
-					live = 1<<uint(rem) - 1
-				}
-				st.smp.Reset(live)
-				est.batch.Run(st.bs, st.smp, live)
-				failed := est.batch.Judge(st.bs) & live
-				count += bits.OnesCount64(failed)
-				for l := live; l != 0; l &= l - 1 {
-					lane := uint(bits.TrailingZeros64(l))
-					k := int(st.smp.Faults[lane])
-					if k > rareMaxW {
-						k = rareMaxW
-					}
-					st.strata[k].shots++
-					if failed>>lane&1 == 1 {
-						st.strata[k].fails++
-					}
-				}
-			}
-		case est.prog != nil:
-			st.cj.Reseed(blockSeed(seed, b))
-			for i := 0; i < nShots; i++ {
-				if i%ctxPollShots == 0 && ctx.Err() != nil {
-					return count
-				}
-				st.cj.Reset()
-				est.prog.Run(st.sh, st.cj)
-				k := st.cj.Faults
-				if k > rareMaxW {
-					k = rareMaxW
-				}
-				st.strata[k].shots++
-				if est.prog.Judge(st.sh) {
-					st.strata[k].fails++
-					count++
-				}
-			}
-		default:
-			st.cj.Reseed(blockSeed(seed, b))
-			for i := 0; i < nShots; i++ {
-				if i%ctxPollShots == 0 && ctx.Err() != nil {
-					return count
-				}
-				st.cj.Reset()
-				out := Run(est.P, st.cj)
-				k := st.cj.Faults
-				if k > rareMaxW {
-					k = rareMaxW
-				}
-				st.strata[k].shots++
-				if est.Judge(out) {
-					st.strata[k].fails++
-					count++
-				}
-			}
-		}
-		return count
-	}
+	runBlock := func(w, b, nShots int) int { return ws[w].RunBlock(ctx, seed, b, nShots) }
 
 	start := time.Now()
 	shots, fails, err := runAdaptive(ctx, targetRSE, maxShots, workers, runBlock)
@@ -251,58 +167,36 @@ func (est *Estimator) RareEventAdaptive(ctx context.Context, p float64, targetRS
 	}
 
 	// Merge the per-worker strata; integer sums are order-independent, so
-	// the totals share the block scheduler's worker-count determinism.
-	var pooled [rareMaxW + 1]stratum
-	for _, st := range ws {
-		for k, s := range st.strata {
-			pooled[k].shots += s.shots
-			pooled[k].fails += s.fails
-		}
+	// the totals share the block scheduler's worker-count determinism. The
+	// pooled (shots, fails) necessarily equal runAdaptive's, which remain
+	// authoritative for the round-clamped totals.
+	parts := make([]Counts, len(ws))
+	for w, r := range ws {
+		parts[w] = r.Counts()
 	}
+	pooled := PoolCounts(parts...)
+	pooled.Shots, pooled.Fails = int64(shots), int64(fails)
 
-	condP := noise.CondProb(n, p)
-	q := float64(fails) / float64(shots)
+	ar, err := pooled.Result(MethodRare, p, n)
+	if err != nil {
+		return RareEventResult{}, err
+	}
 	res := RareEventResult{
-		AdaptiveResult: AdaptiveResult{
-			PL:     condP * q,
-			Shots:  shots,
-			Fails:  fails,
-			Method: MethodRare,
-			CondP:  condP,
-		},
-		N: n,
-		Q: q,
+		AdaptiveResult: ar,
+		N:              n,
+		Q:              float64(fails) / float64(shots),
 	}
-	if fails > 0 {
-		res.RSE = math.Sqrt((1 - q) / float64(fails))
-	}
-	lo, hi := Wilson(fails, shots)
-	res.CILo, res.CIHi = condP*lo, condP*hi
 	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
 		res.ShotsPerSec = float64(shots) / elapsed
 	}
 
-	// Post-stratification diagnostics: each observed stratum w carries
-	// conditional probability mass weights[w] spread over its shots, so the
-	// Kish effective sample size is (Σ_w W_w)² / (Σ_w W_w²/shots_w).
+	// The stratified view with its post-stratification weights, the
+	// FaultOrder-compatible breakdown of the same shots.
 	weights := CondWeights(n, rareMaxW, p)
-	var sumW, sumW2 float64
-	for k, s := range pooled {
-		if s.shots == 0 {
-			continue
-		}
+	for _, s := range pooled.Strata {
 		res.Strata = append(res.Strata, RareStratum{
-			W: k, Shots: s.shots, Fails: s.fails, Weight: weights[k],
+			W: s.W, Shots: int(s.Shots), Fails: int(s.Fails), Weight: weights[s.W],
 		})
-		sumW += weights[k]
-		sumW2 += weights[k] * weights[k] / float64(s.shots)
-	}
-	res.EffectiveSamples = float64(shots)
-	if sumW2 > 0 {
-		res.EffectiveSamples = sumW * sumW / sumW2
-	}
-	if res.EffectiveSamples > 0 {
-		res.WeightVariance = math.Max(0, float64(shots)/res.EffectiveSamples-1)
 	}
 	return res, nil
 }
