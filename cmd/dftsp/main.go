@@ -20,7 +20,11 @@
 // the 64-lane batch engine and honors DFTSP_ENGINE). -method selects the
 // sampling method (auto/direct/rare; auto switches to the rare-event
 // >= 1-fault conditional estimator below the crossover rate, which makes
-// tiny physical rates tractable). -cpuprofile writes a pprof CPU profile
+// tiny physical rates tractable). -bias2q, -biasmeas and -eta generalize
+// the noise model to per-class rates (two-qubit and measurement multipliers
+// relative to the one-qubit rate) and a Z-biased two-qubit operator menu;
+// all default to 1, the paper's uniform model. -cpuprofile writes a pprof
+// CPU profile
 // covering the whole run — synthesis and sampling — for perf hunts on the
 // estimation hot path.
 package main
@@ -55,6 +59,9 @@ func main() {
 		maxShots = flag.Int("max-shots", 0, "adaptive sampling cap per rate (0: 10,000,000)")
 		engine   = flag.String("engine", "", "Monte-Carlo engine: auto, scalar or batch (default: auto / DFTSP_ENGINE)")
 		method   = flag.String("method", "", "Monte-Carlo method: auto, direct or rare (default: auto)")
+		bias2Q   = flag.Float64("bias2q", 1, "two-qubit fault rate multiplier relative to the one-qubit rate")
+		biasMeas = flag.Float64("biasmeas", 1, "measurement flip rate multiplier relative to the one-qubit rate")
+		eta      = flag.Float64("eta", 1, "two-qubit operator menu Z-bias (weight eta per pure-Z slot)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -113,6 +120,9 @@ func main() {
 			Workers:   *workers,
 			Engine:    *engine,
 			Method:    *method,
+			Bias2Q:    *bias2Q,
+			BiasMeas:  *biasMeas,
+			Eta:       *eta,
 			// The user asked for exactly this rate, so never let the
 			// adaptive mc_min_rate floor skip it.
 			MCMinRate: *rate,

@@ -65,6 +65,15 @@
 // packing limits with 400). The server-wide default is overridable with
 // the DFTSP_ENGINE environment variable.
 //
+// Both /estimate and /jobs accept per-location-class noise model options:
+// "bias_2q" and "bias_meas" scale the two-qubit and measurement fault rates
+// relative to the one-qubit rate, and "eta" Z-biases the two-qubit operator
+// menu (weight eta per pure-Z slot). All default to 1 — the paper's uniform
+// E1_1 model; a biased /estimate response echoes the model under
+// "noise_bias", and a biased job spec carries the fields in its content
+// address (a spelled-out 1 normalizes away, so it cannot split the job
+// identity).
+//
 // /stats additionally reports estimation throughput: "shots_sampled" is
 // the cumulative Monte-Carlo shot count across all estimation jobs and
 // "shots_per_sec" an exponentially weighted moving average of per-job

@@ -280,6 +280,48 @@ func TestEstimateEndpoint(t *testing.T) {
 	}
 }
 
+func TestEstimateBiasedNoiseModel(t *testing.T) {
+	ts := newTestServer(t)
+
+	// A biased estimate is served and echoes the resolved model, with the
+	// defaulted one-field spelled out.
+	body := `{"options":{"code":"Steane"},"estimate":{"rates":[0.01],"max_order":2,"samples":500,"mc_shots":500,"bias_2q":2,"eta":4}}`
+	status, out := postJSON(t, ts.URL+"/estimate", body)
+	if status != http.StatusOK {
+		t.Fatalf("biased estimate: status %d: %v", status, out)
+	}
+	nb, ok := out["noise_bias"].(map[string]any)
+	if !ok {
+		t.Fatalf("biased estimate missing noise_bias echo: %v", out)
+	}
+	if nb["bias_2q"] != 2.0 || nb["bias_meas"] != 1.0 || nb["eta"] != 4.0 {
+		t.Fatalf("noise_bias echo = %v, want bias_2q 2, bias_meas 1, eta 4", nb)
+	}
+
+	// The uniform model omits the echo entirely, including when the caller
+	// spells out the defaults.
+	body = `{"options":{"code":"Steane"},"estimate":{"rates":[0.01],"max_order":2,"samples":500,"bias_2q":1,"bias_meas":1,"eta":1}}`
+	status, out = postJSON(t, ts.URL+"/estimate", body)
+	if status != http.StatusOK {
+		t.Fatalf("uniform estimate: status %d: %v", status, out)
+	}
+	if _, ok := out["noise_bias"]; ok {
+		t.Fatalf("uniform estimate carries a noise_bias echo: %v", out)
+	}
+
+	// Invalid multipliers and a scaled rate reaching 1 are client errors
+	// before synthesis-priced work.
+	for _, bad := range []string{
+		`{"options":{"code":"Steane"},"estimate":{"rates":[0.01],"bias_2q":-3}}`,
+		`{"options":{"code":"Steane"},"estimate":{"rates":[0.01],"eta":-1}}`,
+		`{"options":{"code":"Steane"},"estimate":{"rates":[0.2],"bias_2q":5,"mc_shots":100}}`,
+	} {
+		if status, out := postJSON(t, ts.URL+"/estimate", bad); status != http.StatusBadRequest {
+			t.Fatalf("bad model %s: status %d: %v", bad, status, out)
+		}
+	}
+}
+
 func TestEstimateClientDisconnectAbortsWork(t *testing.T) {
 	ts, done := newTrackedServer(t)
 

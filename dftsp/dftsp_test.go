@@ -318,6 +318,41 @@ func TestEstimateMethodSelection(t *testing.T) {
 	}
 }
 
+// TestEstimateBiasValidation covers the noise-model multiplier validation
+// at the facade: the grid check uses the *requested* rates (a large bias
+// at a low explicit rate is fine — the regression here was validating
+// against the default grid's 0.1 top even with explicit rates), falls
+// back to the default grid only when no rates are given, and rejects
+// non-finite or non-positive multipliers before any sampling.
+func TestEstimateBiasValidation(t *testing.T) {
+	p, err := Synthesize(bg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Estimate(bg, EstimateOptions{
+		Rates: []float64{1e-3}, MaxOrder: 1, MCShots: 20_000,
+		Bias2Q: 10, BiasMeas: 0.5, Eta: 8,
+	})
+	if err != nil {
+		t.Fatalf("bias_2q=10 at explicit p=1e-3 rejected: %v", err)
+	}
+	if res.NoiseBias == nil || res.NoiseBias.Bias2Q != 10 || res.NoiseBias.Eta != 8 {
+		t.Fatalf("noise_bias not echoed: %+v", res.NoiseBias)
+	}
+	bad := []EstimateOptions{
+		{MCShots: 1000, Bias2Q: 10},                        // default grid tops at 0.1 → rate 1
+		{Rates: []float64{2e-1}, MCShots: 1000, Bias2Q: 5}, // explicit rate reaches 1
+		{Rates: []float64{1e-3}, Bias2Q: -1},               // negative multiplier
+		{Rates: []float64{1e-3}, BiasMeas: math.NaN()},     // NaN
+		{Rates: []float64{1e-3}, Eta: math.Inf(1)},         // Inf
+	}
+	for i, eo := range bad {
+		if _, err := p.Estimate(bg, eo); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("case %d (%+v): err = %v, want ErrBadOptions", i, eo, err)
+		}
+	}
+}
+
 // TestEstimateEngineSelection covers the Engine escape hatch at the facade:
 // the explicit engines sample successfully and agree statistically, while a
 // bogus name is rejected as ErrBadOptions before any synthesis-priced work.

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/noise"
 	"repro/internal/sim"
 )
 
@@ -78,7 +79,46 @@ type EstimateOptions struct {
 	// ErrBadOptions when the protocol exceeds its packing limits). The
 	// DFTSP_ENGINE environment variable changes what "auto" resolves to.
 	Engine string `json:"engine,omitempty"`
+
+	// Bias2Q scales the two-qubit (CNOT) fault rate relative to the base
+	// physical rate: at rate p, two-qubit locations fault with probability
+	// p·Bias2Q while one-qubit locations keep p. 0 selects 1 — the paper's
+	// uniform E1_1 model. Every scaled rate must stay below 1 (Validate).
+	Bias2Q float64 `json:"bias_2q,omitempty"`
+
+	// BiasMeas scales the measurement-flip rate: p·BiasMeas. 0 selects 1.
+	BiasMeas float64 `json:"bias_meas,omitempty"`
+
+	// Eta biases the two-qubit fault operator menu toward Z-heavy operators:
+	// each of the 15 non-identity two-qubit Paulis is weighted by
+	// Eta^(number of pure-Z slots), so ZI/IZ carry weight Eta, ZZ carries
+	// Eta², and operators with any X or Y component keep weight 1. Eta > 1
+	// models dephasing-dominated hardware; 0 selects 1 (the uniform menu).
+	Eta float64 `json:"eta,omitempty"`
 }
+
+// NoiseRatio returns the per-class noise model ratio the options select —
+// relative rates (P1Q = 1, P2Q = Bias2Q, PMeas = BiasMeas) and the two-qubit
+// Z-bias Eta, with zero fields replaced by 1. Scale it by a physical rate to
+// obtain the model sampled at that rate; the zero ratio is the paper's
+// uniform E1_1 model.
+func (eo EstimateOptions) NoiseRatio() noise.Model {
+	m := noise.Model{P1Q: 1, P2Q: 1, PMeas: 1, Eta: 1}
+	if eo.Bias2Q != 0 {
+		m.P2Q = eo.Bias2Q
+	}
+	if eo.BiasMeas != 0 {
+		m.PMeas = eo.BiasMeas
+	}
+	if eo.Eta != 0 {
+		m.Eta = eo.Eta
+	}
+	return m
+}
+
+// Biased reports whether the options select anything other than the paper's
+// uniform E1_1 model.
+func (eo EstimateOptions) Biased() bool { return !eo.NoiseRatio().IsUniform() }
 
 func (eo EstimateOptions) withDefaults() EstimateOptions {
 	if eo.MaxOrder <= 0 {
@@ -183,6 +223,19 @@ func (pt RatePoint) MarshalJSON() ([]byte, error) {
 	})
 }
 
+// NoiseBias echoes the per-class noise model ratio an estimate ran under,
+// with the defaults made explicit (every field is 1 for the paper's uniform
+// E1_1 model; estimates under the uniform model omit the echo entirely).
+type NoiseBias struct {
+	// Bias2Q and BiasMeas are the two-qubit and measurement rate
+	// multipliers relative to the one-qubit rate.
+	Bias2Q   float64 `json:"bias_2q"`
+	BiasMeas float64 `json:"bias_meas"`
+
+	// Eta is the two-qubit Z-bias of the operator menu.
+	Eta float64 `json:"eta"`
+}
+
 // EstimateResult holds a logical error-rate estimate.
 type EstimateResult struct {
 	// Locations is the number of fault locations on the fault-free path.
@@ -191,6 +244,10 @@ type EstimateResult struct {
 	// F[w] is the conditional logical failure probability given exactly w
 	// faults; F[1] == 0 certifies single-fault tolerance.
 	F []float64 `json:"f"`
+
+	// NoiseBias echoes the per-class noise model the estimate ran under;
+	// nil for the paper's uniform E1_1 model.
+	NoiseBias *NoiseBias `json:"noise_bias,omitempty"`
 
 	// Points is the evaluated curve, one entry per requested rate.
 	Points []RatePoint `json:"points"`
@@ -228,6 +285,31 @@ func (eo EstimateOptions) Validate() error {
 	}
 	if _, err := sim.ParseMethod(eo.Method); err != nil {
 		return badOptions("method %q (want auto, direct or rare)", eo.Method)
+	}
+	for _, b := range []struct {
+		name string
+		v    float64
+	}{{"bias_2q", eo.Bias2Q}, {"bias_meas", eo.BiasMeas}, {"eta", eo.Eta}} {
+		// 0 selects the default of 1; anything else must be a positive
+		// finite multiplier.
+		if b.v != 0 && !(b.v > 0 && b.v < math.Inf(1)) {
+			return badOptions("%s %g must be a positive finite multiplier (or 0 for 1)", b.name, b.v)
+		}
+	}
+	// Every scaled per-class rate must stay inside (0, 1) across the grid —
+	// checked against the requested rates, or the default grid's top rate
+	// when none are given (withDefaults fills the 1e-1-topped Fig. 4 grid).
+	var hi float64
+	for _, r := range eo.Rates {
+		if r > hi {
+			hi = r
+		}
+	}
+	if len(eo.Rates) == 0 {
+		hi = 1e-1
+	}
+	if m := eo.NoiseRatio().Scale(hi); m.MaxRate() >= 1 {
+		return badOptions("biased rate %g at p = %g reaches 1", m.MaxRate(), hi)
 	}
 	return nil
 }
@@ -268,15 +350,24 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 			return EstimateResult{}, badOptions("%w", err)
 		}
 	}
-	fo, err := est.FaultOrder(ctx, eo.MaxOrder, eo.Samples, rand.New(rand.NewSource(eo.Seed)))
+	// The noise ratio routes every stage: a uniform ratio (the zero value of
+	// the bias fields) resolves each Model call to the legacy scalar-rate
+	// code paths, so the paper's model stays bit-identical to earlier
+	// releases.
+	ratio := eo.NoiseRatio()
+	fo, err := est.FaultOrderModel(ctx, eo.MaxOrder, eo.Samples, rand.New(rand.NewSource(eo.Seed)), ratio)
 	if err != nil {
 		return EstimateResult{}, estimateError(err)
 	}
 	res := EstimateResult{Locations: fo.N, F: fo.F}
+	if !ratio.IsUniform() {
+		res.NoiseBias = &NoiseBias{Bias2Q: ratio.P2Q, BiasMeas: ratio.PMeas, Eta: ratio.Eta}
+	}
 	adaptive := eo.TargetRSE > 0
 	method, _ := sim.ParseMethod(eo.Method) // validated above
 	for i, r := range eo.Rates {
-		pt := RatePoint{P: r, PL: fo.Rate(r)}
+		model := ratio.Scale(r)
+		pt := RatePoint{P: r, PL: fo.RateModel(model)}
 		if (eo.MCShots > 0 || adaptive) && r >= eo.MCMinRate {
 			// Offset the seed per point so rates do not share RNG streams;
 			// the rule is shared with the job layer (sim.PointSeed), so a
@@ -287,7 +378,7 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 				target, budget = eo.TargetRSE, eo.MaxShots
 			}
 			mcStart := time.Now()
-			ar, err := est.Adaptive(ctx, method, r, target, budget, seed, eo.Workers)
+			ar, err := est.AdaptiveModel(ctx, method, model, target, budget, seed, eo.Workers)
 			if err != nil {
 				return EstimateResult{}, estimateError(err)
 			}

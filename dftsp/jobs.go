@@ -143,8 +143,10 @@ func (s *Service) resolveEstimator(ctx context.Context, key string) (*sim.Estima
 // the stored result.
 //
 // Only eo's sampling-relevant fields enter the job spec: Rates (defaulted
-// to the paper's Fig. 4 grid), Method, Engine, TargetRSE, MaxShots, MCShots
-// and Seed. Unlike Estimate, a job samples every grid point — MCMinRate
+// to the paper's Fig. 4 grid), Method, Engine, TargetRSE, MaxShots, MCShots,
+// Seed and the noise-model fields Bias2Q, BiasMeas and Eta (a spelled-out
+// bias of 1 normalizes away, so it cannot split the job identity). Unlike
+// Estimate, a job samples every grid point — MCMinRate
 // does not apply — so each point keeps the exact per-point seed an
 // /estimate of the same options would use, and their results stay
 // bit-comparable.
@@ -177,6 +179,9 @@ func (s *Service) SubmitJob(ctx context.Context, opts Options, eo EstimateOption
 		MaxShots:    d.MaxShots,
 		MCShots:     d.MCShots,
 		Seed:        d.Seed,
+		Bias2Q:      d.Bias2Q,
+		BiasMeas:    d.BiasMeas,
+		Eta:         d.Eta,
 	}
 	status, err := r.Submit(spec)
 	if err != nil {

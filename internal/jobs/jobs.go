@@ -35,7 +35,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/noise"
 	"repro/internal/sim"
 )
 
@@ -118,7 +120,48 @@ type Spec struct {
 	// Seed seeds all sampling (per-point streams derive via
 	// sim.PointSeed); 0 selects 1.
 	Seed int64 `json:"seed,omitempty"`
+
+	// Bias2Q and BiasMeas scale the two-qubit and measurement fault rates
+	// relative to the base rate (dftsp EstimateOptions.Bias2Q/BiasMeas):
+	// at point rate p, two-qubit locations fault with p·Bias2Q and
+	// measurements flip with p·BiasMeas. 0 and 1 both select the uniform
+	// paper model; Normalized clears 1 back to 0 so a spelled-out default
+	// cannot split the job identity, and every legacy spec keeps its ID.
+	Bias2Q   float64 `json:"bias_2q,omitempty"`
+	BiasMeas float64 `json:"bias_meas,omitempty"`
+
+	// Eta is the two-qubit operator menu's Z-bias (dftsp
+	// EstimateOptions.Eta): each two-qubit Pauli is weighted by
+	// Eta^(number of pure-Z slots). 0 and 1 both select the uniform menu,
+	// with the same Normalized identity rule as the bias fields.
+	Eta float64 `json:"eta,omitempty"`
 }
+
+// NoiseRatio returns the per-class noise model ratio the spec selects, with
+// zero bias fields replaced by 1; Model scales it to a point's rate.
+func (s Spec) NoiseRatio() noise.Model {
+	m := noise.Model{P1Q: 1, P2Q: 1, PMeas: 1, Eta: 1}
+	if s.Bias2Q != 0 {
+		m.P2Q = s.Bias2Q
+	}
+	if s.BiasMeas != 0 {
+		m.PMeas = s.BiasMeas
+	}
+	if s.Eta != 0 {
+		m.Eta = s.Eta
+	}
+	return m
+}
+
+// Model returns the noise model sampled at physical rate p: the spec's
+// noise ratio scaled by p. For a spec without bias fields this is
+// noise.Uniform(p), which the estimators resolve to the legacy scalar-rate
+// code paths bit-identically.
+func (s Spec) Model(p float64) noise.Model { return s.NoiseRatio().Scale(p) }
+
+// Biased reports whether the spec selects anything other than the uniform
+// paper model.
+func (s Spec) Biased() bool { return !s.NoiseRatio().IsUniform() }
 
 // Normalized returns the spec with every defaulted field made explicit —
 // the canonical form the job ID is computed over, so "auto" and "" method
@@ -142,6 +185,18 @@ func (s Spec) Normalized() Spec {
 		}
 		s.MCShots = 0
 	}
+	// A bias of exactly 1 is the default; canonicalize it to the omitted
+	// form so biased-syntax submissions of the uniform model share the ID
+	// (and the file) of their legacy spelling.
+	if s.Bias2Q == 1 {
+		s.Bias2Q = 0
+	}
+	if s.BiasMeas == 1 {
+		s.BiasMeas = 0
+	}
+	if s.Eta == 1 {
+		s.Eta = 0
+	}
 	return s
 }
 
@@ -164,9 +219,20 @@ func (s Spec) Validate() error {
 	if len(s.Rates) == 0 {
 		return fmt.Errorf("%w: no rates", ErrBadSpec)
 	}
+	for _, b := range []struct {
+		name string
+		v    float64
+	}{{"bias_2q", s.Bias2Q}, {"bias_meas", s.BiasMeas}, {"eta", s.Eta}} {
+		if b.v != 0 && !(b.v > 0 && !math.IsInf(b.v, 1)) {
+			return fmt.Errorf("%w: %s %g must be a positive finite multiplier (or 0 for 1)", ErrBadSpec, b.name, b.v)
+		}
+	}
 	for _, r := range s.Rates {
 		if r <= 0 || r >= 1 {
 			return fmt.Errorf("%w: physical rate %g outside (0,1)", ErrBadSpec, r)
+		}
+		if m := s.Model(r); m.MaxRate() >= 1 {
+			return fmt.Errorf("%w: biased rate %g at p = %g reaches 1", ErrBadSpec, m.MaxRate(), r)
 		}
 	}
 	if s.TargetRSE < 0 || s.TargetRSE >= 1 {

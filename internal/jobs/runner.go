@@ -470,17 +470,23 @@ func (r *Runner) execute(ctx context.Context, j *job, lg *Log, st *State) error 
 		// Resolve the method and warm the estimator's location cache on
 		// the coordinator, before shard tasks share the estimator
 		// read-only across workers.
+		model := spec.Model(rate)
 		method := reqMethod
 		if method == sim.MethodAuto {
-			method = est.Crossover(rate)
+			method = est.CrossoverModel(model)
 		}
 		locs := 0
+		var classCounts []int
 		if method == sim.MethodRare {
-			locs = est.Locations()
+			counts := est.ClassCounts()
+			locs = counts[0] + counts[1] + counts[2]
+			if spec.Biased() {
+				classCounts = counts[:]
+			}
 		}
 		ps, ok := st.Points[i]
 		if !ok {
-			ps = PointState{Point: i, Rate: rate, Method: method.String(), Locations: locs}
+			ps = PointState{Point: i, Rate: rate, Method: method.String(), Locations: locs, ClassCounts: classCounts}
 			if err := lg.Append(Record{Kind: "point", Point: i, State: &ps}); err != nil {
 				return err
 			}
@@ -518,7 +524,7 @@ func (r *Runner) execute(ctx context.Context, j *job, lg *Log, st *State) error 
 				b1 := min(b0+ShardBlocks, end)
 				sh := sh
 				task := func() {
-					br, err := est.NewBlockRunner(method, rate)
+					br, err := est.NewBlockRunnerModel(method, model)
 					if err != nil {
 						results <- shardResult{shard: sh, err: err}
 						return
@@ -587,7 +593,7 @@ func (r *Runner) execute(ctx context.Context, j *job, lg *Log, st *State) error 
 		}
 		st.Points[i] = ps
 		j.setPoint(ps)
-		pst := pointStatus(ps)
+		pst := pointStatus(spec, ps)
 		j.emit(Event{Type: "point", Job: j.id, Point: i, Shots: totalShots(j.snapshotPoints()), Result: &pst})
 	}
 
@@ -686,7 +692,7 @@ func pointStatuses(spec Spec, points map[int]PointState) []PointStatus {
 	out := make([]PointStatus, len(spec.Rates))
 	for i, rate := range spec.Rates {
 		if ps, ok := points[i]; ok {
-			out[i] = pointStatus(ps)
+			out[i] = pointStatus(spec, ps)
 		} else {
 			out[i] = PointStatus{Point: i, Rate: rate}
 		}
@@ -696,8 +702,11 @@ func pointStatuses(spec Spec, points map[int]PointState) []PointStatus {
 
 // pointStatus derives a point's reported statistics from its durable
 // counts via the shared finisher, so the job layer reports exactly what an
-// in-process estimate of the same counts would.
-func pointStatus(ps PointState) PointStatus {
+// in-process estimate of the same counts would. Biased specs finish
+// rare-event counts through the model finisher using the point's durable
+// per-class location counts; a biased rare point missing them (which no
+// writer produces) reports raw counts only.
+func pointStatus(spec Spec, ps PointState) PointStatus {
 	out := PointStatus{
 		Point:  ps.Point,
 		Rate:   ps.Rate,
@@ -710,7 +719,16 @@ func pointStatus(ps PointState) PointStatus {
 	if err != nil || ps.Counts.Shots <= 0 {
 		return out
 	}
-	res, err := ps.Counts.Result(method, ps.Rate, ps.Locations)
+	var res sim.AdaptiveResult
+	if spec.Biased() && method == sim.MethodRare {
+		if len(ps.ClassCounts) != 3 {
+			return out
+		}
+		counts := [3]int{ps.ClassCounts[0], ps.ClassCounts[1], ps.ClassCounts[2]}
+		res, err = ps.Counts.ResultModel(method, spec.Model(ps.Rate), counts)
+	} else {
+		res, err = ps.Counts.Result(method, ps.Rate, ps.Locations)
+	}
 	if err != nil {
 		return out
 	}

@@ -88,6 +88,12 @@ type PointState struct {
 	// rare-event counts; 0 for direct points.
 	Locations int `json:"locations,omitempty"`
 
+	// ClassCounts breaks Locations down by location class (indexed by
+	// noise.LocKind), needed to finish rare-event counts under a biased
+	// (per-class) noise spec; nil for direct points and uniform specs, so
+	// legacy job files round-trip unchanged.
+	ClassCounts []int `json:"class_counts,omitempty"`
+
 	// Counts is the pooled outcome of the point's executed shards.
 	Counts sim.Counts `json:"counts"`
 

@@ -72,84 +72,127 @@ type BatchInjector interface {
 	DrawMeas(active uint64) (flip uint64)
 }
 
-// SparseSampler is the depolarizing model vectorized for the batch engine:
-// instead of rolling the RNG once per lane per site (64 calls where the
-// scalar engine makes one), it skip-samples the flattened lane×site grid
-// geometrically. Cells are numbered site*64 + lane in execution order; each
-// cell faults independently with probability P, so the gap between faulting
-// cells is geometric and fault-free cells — the overwhelming majority at
-// realistic physical rates — cost zero RNG calls and zero branches beyond
-// one comparison per site.
-//
-// Faults landing on inactive lanes are discarded (thinning), which keeps
-// the per-lane marginal exactly Bernoulli(P) per location regardless of how
-// control flow diverged. A SparseSampler is not safe for concurrent use;
-// give each worker its own, seeded from a SplitMix64 stream.
-type SparseSampler struct {
-	// P is the per-location physical fault probability.
-	P float64
-
-	rng    SplitMix64
+// skipChain is one geometric skip-sampling stream over a flattened
+// lane×site grid: cells are numbered site*64 + lane in the chain's own site
+// order, each cell faults independently with probability p, and the gap
+// between faulting cells is geometric — fault-free cells cost zero RNG calls
+// and zero branches beyond one comparison per site. A uniform model runs a
+// single chain over the global site grid (the legacy SparseSampler stream);
+// a per-class model runs one chain per location class, each advancing only
+// on its own class's sites, all drawing gaps from the sampler's one shared
+// SplitMix64 stream.
+type skipChain struct {
+	p      float64
 	invLog float64 // 1 / log(1-p); 0 when p == 0
-	base   uint64  // cell index where the next site starts
-	next   uint64  // absolute cell index of the next faulting cell
+	base   uint64  // cell index where the chain's next site starts
+	next   uint64  // absolute cell index of the chain's next faulting cell
 }
 
-// NewSparseSampler returns a sampler for physical rate p (in [0, 1)) whose
-// RNG stream is seeded with seed.
-func NewSparseSampler(p float64, seed uint64) *SparseSampler {
-	s := &SparseSampler{P: p, rng: SplitMix64{State: seed}}
-	if p <= 0 {
-		s.next = math.MaxUint64
-		return s
-	}
-	s.invLog = 1 / math.Log1p(-p)
-	s.next = s.gap() - 1 // cell 0 itself faults with probability p
-	return s
-}
-
-// Reseed restarts the sampler's RNG stream at seed and resynchronizes the
-// geometric skip state, as if freshly constructed by NewSparseSampler(P,
-// seed); the adaptive estimator uses it to re-key a worker's sampler to each
-// deterministic sampling block without reallocating.
-func (s *SparseSampler) Reseed(seed uint64) {
-	s.rng.State = seed
-	s.base = 0
-	if s.P <= 0 {
-		s.next = math.MaxUint64
+// init (re)starts the chain at cell 0, drawing its first gap from rng; a
+// zero-rate chain never fires and draws nothing.
+func (c *skipChain) init(rng *SplitMix64) {
+	c.base = 0
+	if c.p <= 0 {
+		c.invLog = 0
+		c.next = math.MaxUint64
 		return
 	}
-	s.next = s.gap() - 1
+	c.invLog = 1 / math.Log1p(-c.p)
+	c.next = c.gap(rng) - 1 // cell 0 itself faults with probability p
 }
 
 // gap draws the geometric inter-fault gap: delta >= 1 with
 // P(delta = k) = (1-p)^(k-1) p.
-func (s *SparseSampler) gap() uint64 {
-	g := math.Log(s.rng.Float64()) * s.invLog // >= 0; Float64 is in (0,1]
+func (c *skipChain) gap(rng *SplitMix64) uint64 {
+	g := math.Log(rng.Float64()) * c.invLog // >= 0; Float64 is in (0,1]
 	if g >= math.MaxUint64/2 {
 		return math.MaxUint64 / 2 // effectively never; avoids cast overflow
 	}
 	return 1 + uint64(g)
 }
 
-// site advances the grid by one site (64 cells) and returns the faulted
-// lanes together with their operator draws via the visit callback.
-func (s *SparseSampler) site(active uint64, visit func(lane uint)) {
-	base := s.base
-	s.base += 64
-	for s.next < s.base {
-		lane := uint(s.next - base)
-		s.next += s.gap()
+// site advances the chain by one site (64 cells) and reports the faulted
+// lanes via the visit callback.
+func (c *skipChain) site(rng *SplitMix64, active uint64, visit func(lane uint)) {
+	base := c.base
+	c.base += 64
+	for c.next < c.base {
+		lane := uint(c.next - base)
+		c.next += c.gap(rng)
 		if active>>lane&1 == 1 {
 			visit(lane)
 		}
 	}
 }
 
+// SparseSampler is the depolarizing model vectorized for the batch engine:
+// instead of rolling the RNG once per lane per site (64 calls where the
+// scalar engine makes one), it skip-samples flattened lane×site grids
+// geometrically (see skipChain). A uniform model uses one chain over the
+// global grid — exactly the legacy single-rate stream; a per-class model
+// gives every location class its own chain over that class's sites, so
+// skip-sampling stays one comparison per clean site per class.
+//
+// Faults landing on inactive lanes are discarded (thinning), which keeps
+// the per-lane marginal exactly Bernoulli(p_class) per location regardless
+// of how control flow diverged. A SparseSampler is not safe for concurrent
+// use; give each worker its own, seeded from a SplitMix64 stream.
+type SparseSampler struct {
+	// P is the one-qubit-class physical fault probability — for a uniform
+	// model, the single rate of every location.
+	P float64
+
+	rng   SplitMix64
+	cls   [3]uint8 // LocKind -> chain index
+	nch   int      // live chains: 1 (uniform) or 3 (per-class)
+	ch    [3]skipChain
+	menus menuSet
+}
+
+// NewSparseSampler returns a sampler for the uniform physical rate p (in
+// [0, 1)) whose RNG stream is seeded with seed.
+func NewSparseSampler(p float64, seed uint64) *SparseSampler {
+	return NewSparseSamplerModel(Uniform(p), seed)
+}
+
+// NewSparseSamplerModel returns a sampler for a per-class noise model. A
+// model with one shared class rate runs the legacy single-chain grid (and
+// with Eta == 1 is bit-identical to NewSparseSampler(p, seed)); distinct
+// rates run one skip chain per class, initialized and drawn in fixed
+// (Loc1Q, Loc2Q, LocMeas) order from the shared RNG stream.
+func NewSparseSamplerModel(m Model, seed uint64) *SparseSampler {
+	s := &SparseSampler{P: m.P1Q, menus: newMenuSet(m.Eta)}
+	if p, ok := m.UniformRate(); ok {
+		s.P = p
+		s.nch = 1
+		s.ch[0].p = p
+	} else {
+		s.nch = 3
+		s.cls = [3]uint8{0, 1, 2}
+		for k := range s.ch {
+			s.ch[k].p = m.Rate(LocKind(k))
+		}
+	}
+	s.Reseed(seed)
+	return s
+}
+
+// Reseed restarts the sampler's RNG stream at seed and resynchronizes every
+// chain's geometric skip state, as if freshly constructed with the same
+// model; the adaptive estimator uses it to re-key a worker's sampler to each
+// deterministic sampling block without reallocating.
+func (s *SparseSampler) Reseed(seed uint64) {
+	s.rng.State = seed
+	for i := 0; i < s.nch; i++ {
+		s.ch[i].init(&s.rng)
+	}
+}
+
 // Draw1Q implements BatchInjector: uniform {X, Y, Z} on faulted lanes.
 func (s *SparseSampler) Draw1Q(active uint64) (x, z uint64) {
-	s.site(active, func(lane uint) {
-		f := ops1Q[s.rng.Intn(len(ops1Q))]
+	mn := &s.menus[Loc1Q]
+	s.ch[s.cls[Loc1Q]].site(&s.rng, active, func(lane uint) {
+		f := mn.draw(&s.rng)
 		if f.P1&1 != 0 {
 			x |= 1 << lane
 		}
@@ -160,11 +203,13 @@ func (s *SparseSampler) Draw1Q(active uint64) (x, z uint64) {
 	return
 }
 
-// Draw2Q implements BatchInjector: uniform over the 15 non-identity
-// two-qubit Paulis on faulted lanes.
+// Draw2Q implements BatchInjector: the model's two-qubit menu — uniform
+// over the 15 non-identity two-qubit Paulis at Eta == 1, Z-biased otherwise
+// — on faulted lanes.
 func (s *SparseSampler) Draw2Q(active uint64) (x1, z1, x2, z2 uint64) {
-	s.site(active, func(lane uint) {
-		f := ops2Q[s.rng.Intn(len(ops2Q))]
+	mn := &s.menus[Loc2Q]
+	s.ch[s.cls[Loc2Q]].site(&s.rng, active, func(lane uint) {
+		f := mn.draw(&s.rng)
 		if f.P1&1 != 0 {
 			x1 |= 1 << lane
 		}
@@ -183,7 +228,7 @@ func (s *SparseSampler) Draw2Q(active uint64) (x1, z1, x2, z2 uint64) {
 
 // DrawMeas implements BatchInjector: a classical flip on faulted lanes.
 func (s *SparseSampler) DrawMeas(active uint64) (flip uint64) {
-	s.site(active, func(lane uint) {
+	s.ch[s.cls[LocMeas]].site(&s.rng, active, func(lane uint) {
 		flip |= 1 << lane
 	})
 	return

@@ -32,6 +32,116 @@ import (
 // its next Reset.
 const noFault = ^uint32(0)
 
+// condTables holds the precomputed fault-free-path tables of a per-class
+// conditional sampler, built once per (model, protocol) pair and shared by
+// every Reset. With per-class rates the sequential factorization above
+// generalizes: the first fault's location J on the fault-free path follows
+// P(J = j | J < N) = (prod_{i<j} (1-p_{k_i})) p_{k_j} / CondP — inverted by
+// one uniform draw against the precomputed CDF — and each location class
+// continues with its own plain geometric chain in that class's own local
+// location order (per-class Bernoulli sampling is memoryless, so the chains
+// stay exact wherever the divergent trajectory goes). A uniform model never
+// builds these tables: it keeps the legacy single-chain code path and RNG
+// stream bit-identically.
+type condTables struct {
+	rates [3]float64  // per-class fault probabilities
+	cinv  [3]float64  // per-class 1/log(1-p); 0 for a zero-rate class
+	condP float64     // P(#faults >= 1) over the fault-free path
+	cdf   []float64   // first-fault CDF over fault-free-path locations
+	kcls  []uint8     // location class of each fault-free-path location
+	pfx   [][3]uint32 // pfx[j][c] = class-c locations among locations [0..j]
+}
+
+// newCondTables builds the tables for model m over a fault-free path with
+// the given location kinds. The caller guarantees 0 < CondP < 1 (see
+// NewCondSamplerModel).
+func newCondTables(m Model, kinds []LocKind) *condTables {
+	n := len(kinds)
+	t := &condTables{
+		rates: [3]float64{m.P1Q, m.P2Q, m.PMeas},
+		condP: CondProbModel(m, CountKinds(kinds)),
+		cdf:   make([]float64, n),
+		kcls:  make([]uint8, n),
+		pfx:   make([][3]uint32, n),
+	}
+	for c, p := range t.rates {
+		if p > 0 {
+			t.cinv[c] = 1 / math.Log1p(-p)
+		}
+	}
+	var counts [3]uint32
+	surv, sum := 1.0, 0.0
+	for j, k := range kinds {
+		t.kcls[j] = uint8(k)
+		counts[k]++
+		t.pfx[j] = counts
+		p := t.rates[k]
+		sum += surv * p
+		surv *= 1 - p
+		t.cdf[j] = sum
+	}
+	// Normalize by the accumulated mass (self-consistent with the entries)
+	// and close the table exactly, so the inversion below cannot run off the
+	// end at u = 1.
+	for j := range t.cdf {
+		t.cdf[j] /= sum
+	}
+	t.cdf[n-1] = 1
+	return t
+}
+
+// force draws one shot's forced first fault — one uniform inverted against
+// the CDF — and schedules every class's next-fault counter: the first
+// fault's class fires at its own class-local index, every other class
+// starts a plain geometric chain on its locations after the first fault.
+func (t *condTables) force(rng *SplitMix64, next *[3]uint32) {
+	u := rng.Float64()
+	lo, hi := 0, len(t.cdf)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if u <= t.cdf[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	c0 := t.kcls[lo]
+	next[c0] = t.pfx[lo][c0] - 1 // the forced location, class-locally
+	for c := range t.rates {
+		if c == int(c0) || t.rates[c] <= 0 {
+			continue
+		}
+		// First class-c location after the forced one is class-local index
+		// pfx[lo][c]; it starts a fresh geometric chain.
+		g := math.Log(rng.Float64()) * t.cinv[c]
+		if g >= float64(noFault) {
+			next[c] = noFault
+			continue
+		}
+		nxt := uint64(t.pfx[lo][c]) + uint64(g)
+		if nxt >= uint64(noFault) {
+			next[c] = noFault
+		} else {
+			next[c] = uint32(nxt)
+		}
+	}
+}
+
+// nextAfterClass schedules class c's fault after one fired at class-local
+// location cur: a plain geometric gap under that class's rate, saturating to
+// noFault past the uint32 range.
+func (t *condTables) nextAfterClass(rng *SplitMix64, c int, cur uint32) uint32 {
+	g := math.Log(rng.Float64()) * t.cinv[c]
+	if g >= float64(noFault) {
+		return noFault
+	}
+	nxt := uint64(cur) + 1 + uint64(g)
+	if nxt >= uint64(noFault) {
+		return noFault
+	}
+	return uint32(nxt)
+}
+
 // CondSampler is the >=1-fault conditional twin of SparseSampler for the
 // 64-lane batch engine: every live lane of every word is guaranteed at least
 // one fault, drawn from the exact conditional distribution above. Unlike
@@ -65,6 +175,13 @@ type CondSampler struct {
 	invLog float64    // 1 / log(1-p)
 	cnt    [64]uint32 // locations executed per lane since Reset
 	next   [64]uint32 // lane-local location index of each lane's next fault
+
+	// Per-class model state; tab == nil selects the uniform single-chain
+	// path above.
+	tab   *condTables
+	ccnt  [64][3]uint32 // per-class locations executed per lane since Reset
+	cnext [64][3]uint32 // per-class class-local index of each lane's next fault
+	menus menuSet
 }
 
 // NewCondSampler returns a conditional sampler at physical rate p for a
@@ -74,11 +191,34 @@ type CondSampler struct {
 // condition on; p = 1 makes conditioning vacuous and the plain SparseSampler
 // exact); callers validate before constructing.
 func NewCondSampler(p float64, n int, seed uint64) *CondSampler {
-	s := &CondSampler{P: p, N: n, rng: SplitMix64{State: seed}}
+	s := &CondSampler{P: p, N: n, rng: SplitMix64{State: seed}, menus: newMenuSet(1)}
 	s.invLog = 1 / math.Log1p(-p)
 	s.CondP = CondProb(n, p)
 	for lane := range s.next {
 		s.next[lane] = noFault
+	}
+	return s
+}
+
+// NewCondSamplerModel returns a conditional sampler for a per-class noise
+// model over a fault-free path with the given location kinds. A model with
+// one shared class rate takes the legacy single-chain path (bit-identical to
+// NewCondSampler at Eta == 1); distinct rates run one geometric chain per
+// class against the precomputed first-fault tables. The model must satisfy
+// 0 < CondP < 1 — every class rate in [0, 1) and at least one faultable
+// location — the per-class twin of NewCondSampler's 0 < p < 1 contract;
+// callers validate before constructing.
+func NewCondSamplerModel(m Model, kinds []LocKind, seed uint64) *CondSampler {
+	if p, ok := m.UniformRate(); ok {
+		s := NewCondSampler(p, len(kinds), seed)
+		s.menus = newMenuSet(m.Eta)
+		return s
+	}
+	s := &CondSampler{P: m.P1Q, N: len(kinds), rng: SplitMix64{State: seed}, menus: newMenuSet(m.Eta)}
+	s.tab = newCondTables(m, kinds)
+	s.CondP = s.tab.condP
+	for lane := range s.cnext {
+		s.cnext[lane] = [3]uint32{noFault, noFault, noFault}
 	}
 	return s
 }
@@ -98,6 +238,35 @@ func CondProb(n int, p float64) float64 {
 	return -math.Expm1(float64(n) * math.Log1p(-p))
 }
 
+// CondProbModel generalizes CondProb to per-class rates:
+// P(#faults >= 1) = 1 - prod_c (1-p_c)^(n_c) over the per-class location
+// counts of the fault-free path (CountKinds), accumulated in log space so it
+// stays accurate when every n_c·p_c is tiny. Boundary rates take their exact
+// limits NaN/Inf-free: a class at rate >= 1 with locations forces 1,
+// zero-rate or empty classes contribute nothing, and a path with no
+// faultable locations returns 0. A uniform model reproduces
+// CondProb(n, p) bit-identically.
+func CondProbModel(m Model, counts [3]int) float64 {
+	if p, ok := m.UniformRate(); ok {
+		return CondProb(counts[0]+counts[1]+counts[2], p)
+	}
+	rates := [3]float64{m.P1Q, m.P2Q, m.PMeas}
+	sum := 0.0
+	for c, n := range counts {
+		if n <= 0 || rates[c] <= 0 {
+			continue
+		}
+		if rates[c] >= 1 {
+			return 1
+		}
+		sum += float64(n) * math.Log1p(-rates[c])
+	}
+	if sum == 0 {
+		return 0
+	}
+	return -math.Expm1(sum)
+}
+
 // Reseed restarts the sampler's RNG stream at seed, as if freshly
 // constructed; the adaptive estimator uses it to give every fixed-size
 // sampling block its own deterministic stream independent of which worker
@@ -106,8 +275,21 @@ func (s *CondSampler) Reseed(seed uint64) { s.rng.State = seed }
 
 // Reset begins a new 64-shot word: location counters and fault tallies
 // clear, and every lane in live gets a forced first-fault location drawn
-// from the truncated geometric on [0, N). Lanes outside live run fault-free.
+// from the truncated distribution on [0, N) — the truncated geometric for a
+// uniform model, the per-class CDF inversion otherwise. Lanes outside live
+// run fault-free.
 func (s *CondSampler) Reset(live uint64) {
+	if s.tab != nil {
+		for lane := range s.ccnt {
+			s.Faults[lane] = 0
+			s.ccnt[lane] = [3]uint32{}
+			s.cnext[lane] = [3]uint32{noFault, noFault, noFault}
+		}
+		for l := live; l != 0; l &= l - 1 {
+			s.tab.force(&s.rng, &s.cnext[bits.TrailingZeros64(l)])
+		}
+		return
+	}
 	for lane := range s.cnt {
 		s.cnt[lane] = 0
 		s.Faults[lane] = 0
@@ -146,10 +328,25 @@ func (s *CondSampler) nextAfter(c uint32) uint32 {
 	return uint32(nxt)
 }
 
-// draw advances every active lane by one location and fires the scheduled
-// faults, mirroring BatchPlan's location semantics (counters advance only
-// while the lane is active).
-func (s *CondSampler) draw(active uint64, visit func(lane uint)) {
+// draw advances every active lane by one location of the given class and
+// fires the scheduled faults, mirroring BatchPlan's location semantics
+// (counters advance only while the lane is active). The uniform path counts
+// locations globally; the per-class path counts each class on its own chain.
+func (s *CondSampler) draw(kind LocKind, active uint64, visit func(lane uint)) {
+	if s.tab != nil {
+		for a := active; a != 0; a &= a - 1 {
+			lane := uint(bits.TrailingZeros64(a))
+			c := s.ccnt[lane][kind]
+			s.ccnt[lane][kind] = c + 1
+			if c != s.cnext[lane][kind] {
+				continue
+			}
+			s.Faults[lane]++
+			s.cnext[lane][kind] = s.tab.nextAfterClass(&s.rng, int(kind), c)
+			visit(lane)
+		}
+		return
+	}
 	for a := active; a != 0; a &= a - 1 {
 		lane := uint(bits.TrailingZeros64(a))
 		c := s.cnt[lane]
@@ -165,8 +362,9 @@ func (s *CondSampler) draw(active uint64, visit func(lane uint)) {
 
 // Draw1Q implements BatchInjector: uniform {X, Y, Z} on faulted lanes.
 func (s *CondSampler) Draw1Q(active uint64) (x, z uint64) {
-	s.draw(active, func(lane uint) {
-		f := ops1Q[s.rng.Intn(len(ops1Q))]
+	mn := &s.menus[Loc1Q]
+	s.draw(Loc1Q, active, func(lane uint) {
+		f := mn.draw(&s.rng)
 		if f.P1&1 != 0 {
 			x |= 1 << lane
 		}
@@ -177,11 +375,13 @@ func (s *CondSampler) Draw1Q(active uint64) (x, z uint64) {
 	return
 }
 
-// Draw2Q implements BatchInjector: uniform over the 15 non-identity
-// two-qubit Paulis on faulted lanes.
+// Draw2Q implements BatchInjector: the model's two-qubit menu — uniform
+// over the 15 non-identity two-qubit Paulis at Eta == 1, Z-biased otherwise
+// — on faulted lanes.
 func (s *CondSampler) Draw2Q(active uint64) (x1, z1, x2, z2 uint64) {
-	s.draw(active, func(lane uint) {
-		f := ops2Q[s.rng.Intn(len(ops2Q))]
+	mn := &s.menus[Loc2Q]
+	s.draw(Loc2Q, active, func(lane uint) {
+		f := mn.draw(&s.rng)
 		if f.P1&1 != 0 {
 			x1 |= 1 << lane
 		}
@@ -200,7 +400,7 @@ func (s *CondSampler) Draw2Q(active uint64) (x1, z1, x2, z2 uint64) {
 
 // DrawMeas implements BatchInjector: a classical flip on faulted lanes.
 func (s *CondSampler) DrawMeas(active uint64) (flip uint64) {
-	s.draw(active, func(lane uint) {
+	s.draw(LocMeas, active, func(lane uint) {
 		flip |= 1 << lane
 	})
 	return
@@ -224,15 +424,38 @@ type CondInjector struct {
 	invLog float64
 	cnt    uint32
 	next   uint32
+
+	// Per-class model state; tab == nil selects the uniform path.
+	tab   *condTables
+	ccnt  [3]uint32
+	cnext [3]uint32
+	menus menuSet
 }
 
 // NewCondInjector returns a scalar conditional injector; the argument
 // contract matches NewCondSampler (0 < p < 1, n >= 1).
 func NewCondInjector(p float64, n int, seed uint64) *CondInjector {
-	c := &CondInjector{P: p, N: n, rng: SplitMix64{State: seed}}
+	c := &CondInjector{P: p, N: n, rng: SplitMix64{State: seed}, menus: newMenuSet(1)}
 	c.invLog = 1 / math.Log1p(-p)
 	c.CondP = CondProb(n, p)
 	c.next = noFault
+	return c
+}
+
+// NewCondInjectorModel returns a scalar conditional injector for a
+// per-class noise model; the argument contract matches NewCondSamplerModel
+// (0 < CondP < 1), and a model with one shared class rate takes the legacy
+// single-chain path bit-identically at Eta == 1.
+func NewCondInjectorModel(m Model, kinds []LocKind, seed uint64) *CondInjector {
+	if p, ok := m.UniformRate(); ok {
+		c := NewCondInjector(p, len(kinds), seed)
+		c.menus = newMenuSet(m.Eta)
+		return c
+	}
+	c := &CondInjector{P: m.P1Q, N: len(kinds), rng: SplitMix64{State: seed}, menus: newMenuSet(m.Eta)}
+	c.tab = newCondTables(m, kinds)
+	c.CondP = c.tab.condP
+	c.cnext = [3]uint32{noFault, noFault, noFault}
 	return c
 }
 
@@ -240,11 +463,17 @@ func NewCondInjector(p float64, n int, seed uint64) *CondInjector {
 // constructed.
 func (c *CondInjector) Reseed(seed uint64) { c.rng.State = seed }
 
-// Reset begins a new shot: the location counter and fault tally clear and a
+// Reset begins a new shot: the location counters and fault tally clear and a
 // fresh forced first-fault location is drawn.
 func (c *CondInjector) Reset() {
-	c.cnt = 0
 	c.Faults = 0
+	if c.tab != nil {
+		c.ccnt = [3]uint32{}
+		c.cnext = [3]uint32{noFault, noFault, noFault}
+		c.tab.force(&c.rng, &c.cnext)
+		return
+	}
+	c.cnt = 0
 	g := math.Log1p(-c.rng.Float64()*c.CondP) * c.invLog
 	j := uint32(g)
 	if j >= uint32(c.N) {
@@ -255,6 +484,16 @@ func (c *CondInjector) Reset() {
 
 // Next implements Injector.
 func (c *CondInjector) Next(kind LocKind) Fault {
+	if c.tab != nil {
+		loc := c.ccnt[kind]
+		c.ccnt[kind] = loc + 1
+		if loc != c.cnext[kind] {
+			return Fault{}
+		}
+		c.Faults++
+		c.cnext[kind] = c.tab.nextAfterClass(&c.rng, int(kind), loc)
+		return c.menus[kind].draw(&c.rng)
+	}
 	loc := c.cnt
 	c.cnt = loc + 1
 	if loc != c.next {
@@ -267,6 +506,5 @@ func (c *CondInjector) Next(kind LocKind) Fault {
 	} else {
 		c.next = loc + 1 + uint32(g)
 	}
-	ops := OpsFor(kind)
-	return ops[c.rng.Intn(len(ops))]
+	return c.menus[kind].draw(&c.rng)
 }

@@ -29,7 +29,7 @@ func FuzzSparseSampler(f *testing.F) {
 			return // keep each input cheap; larger site counts add nothing
 		}
 		// Map the raw word onto [0, 1] with both endpoints reachable.
-		p := float64(pRaw>>11) / float64(uint64(1)<<53-1)
+		p := rawRate(pRaw)
 		s := NewSparseSampler(p, seed)
 
 		cells := sites * bits.OnesCount64(active)
@@ -80,6 +80,114 @@ func FuzzSparseSampler(f *testing.F) {
 			slack := 5*math.Sqrt(mean*(1-p)) + 12
 			if diff := math.Abs(float64(faults) - mean); diff > slack {
 				t.Fatalf("p=%g over %d cells: %d faults, want %.1f ± %.1f", p, cells, faults, mean, slack)
+			}
+		}
+	})
+}
+
+// rawRate maps a raw fuzz word onto a probability in [0, 1] with both
+// endpoints reachable.
+func rawRate(raw uint64) float64 {
+	return float64(raw>>11) / float64(uint64(1)<<53-1)
+}
+
+// FuzzSparseSamplerModel extends FuzzSparseSampler to per-class rates and a
+// biased two-qubit menu: for arbitrary (p_1q, p_2q, p_meas, eta, seed, site
+// count, active mask) inputs it checks the same structural invariants per
+// class — a zero-rate class faults nothing, a rate-1 class faults every
+// active cell, faults never escape the active mask — a per-class 5-sigma
+// binomial envelope on the realized fault counts, and that reconstructing
+// the sampler reproduces the stream mask for mask (the determinism the
+// block scheduler's Reseed contract rides on).
+func FuzzSparseSamplerModel(f *testing.F) {
+	f.Add(uint64(1)<<62, uint64(1)<<60, uint64(1)<<58, uint64(1)<<63, uint64(1), 150, ^uint64(0))
+	f.Add(uint64(0), ^uint64(0), uint64(1)<<62, uint64(1)<<61, uint64(2), 120, ^uint64(0)) // p1q = 0, pmeas = 1
+	f.Add(uint64(1)<<52, uint64(1)<<53, uint64(1)<<54, uint64(0), uint64(3), 300, uint64(0xF0F0F0F0F0F0F0F0))
+	f.Add(uint64(3)<<62, uint64(1)<<62, uint64(1)<<63, ^uint64(0), uint64(4), 90, uint64(1)) // single lane
+	f.Add(uint64(1)<<61, uint64(1)<<61, uint64(1)<<61, uint64(1)<<59, uint64(5), 60, uint64(0))
+
+	f.Fuzz(func(t *testing.T, p1Raw, p2Raw, pmRaw, etaRaw uint64, seed uint64, sites int, active uint64) {
+		if sites < 0 || sites > 2000 {
+			return
+		}
+		m := Model{
+			P1Q:   rawRate(p1Raw),
+			P2Q:   rawRate(p2Raw),
+			PMeas: rawRate(pmRaw),
+			// Spread eta across [0.1, 10.1]: both Z-suppressed and Z-heavy
+			// menus (the exact eta = 1 menu path is pinned by the unit
+			// tests).
+			Eta: 0.1 + 10*rawRate(etaRaw),
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("constructed model invalid: %v", err)
+		}
+		s := NewSparseSamplerModel(m, seed)
+
+		lanes := bits.OnesCount64(active)
+		var kindSites [3]int
+		var fired [3]int
+		masks := make([]uint64, sites)
+		for i := 0; i < sites; i++ {
+			k := LocKind(i % 3)
+			kindSites[k]++
+			var hit uint64
+			switch k {
+			case Loc1Q:
+				x, z := s.Draw1Q(active)
+				hit = x | z
+			case Loc2Q:
+				x1, z1, x2, z2 := s.Draw2Q(active)
+				hit = x1 | z1 | x2 | z2
+			default:
+				hit = s.DrawMeas(active)
+			}
+			if hit&^active != 0 {
+				t.Fatalf("site %d: class-%d fault outside active mask %016x: %016x", i, k, active, hit)
+			}
+			masks[i] = hit
+			fired[k] += bits.OnesCount64(hit)
+		}
+
+		for k := 0; k < 3; k++ {
+			p := m.Rate(LocKind(k))
+			cells := kindSites[k] * lanes
+			switch {
+			case p == 0:
+				if fired[k] != 0 {
+					t.Fatalf("class %d at p=0 produced %d faults", k, fired[k])
+				}
+			case p == 1:
+				if fired[k] != cells {
+					t.Fatalf("class %d at p=1 faulted %d cells, want %d", k, fired[k], cells)
+				}
+			default:
+				mean := p * float64(cells)
+				slack := 5*math.Sqrt(mean*(1-p)) + 12
+				if diff := math.Abs(float64(fired[k]) - mean); diff > slack {
+					t.Fatalf("class %d at p=%g over %d cells: %d faults, want %.1f ± %.1f",
+						k, p, cells, fired[k], mean, slack)
+				}
+			}
+		}
+
+		// Determinism: a fresh sampler with the same (model, seed) must
+		// reproduce the exact mask stream.
+		r := NewSparseSamplerModel(m, seed)
+		for i := 0; i < sites; i++ {
+			var hit uint64
+			switch LocKind(i % 3) {
+			case Loc1Q:
+				x, z := r.Draw1Q(active)
+				hit = x | z
+			case Loc2Q:
+				x1, z1, x2, z2 := r.Draw2Q(active)
+				hit = x1 | z1 | x2 | z2
+			default:
+				hit = r.DrawMeas(active)
+			}
+			if hit != masks[i] {
+				t.Fatalf("site %d: replay mask %016x differs from first pass %016x", i, hit, masks[i])
 			}
 		}
 	})

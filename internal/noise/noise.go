@@ -115,17 +115,50 @@ func OpsFor(kind LocKind) []Fault {
 }
 
 // Depolarizing is the E1_1 model: every location faults independently with
-// probability P, drawing uniformly from the location's operator menu.
+// probability P, drawing uniformly from the location's operator menu. The
+// zero-value literal form (&Depolarizing{P: p, Rng: rng}) is the paper's
+// uniform model; NewDepolarizing generalizes it to per-class rates and a
+// biased two-qubit menu while keeping the literal form's RNG stream
+// bit-identical — every location costs one Float64, every fired fault one
+// more draw.
 type Depolarizing struct {
 	P   float64
 	Rng *rand.Rand
+
+	rates *[3]float64 // per-class rates; nil selects the uniform rate P
+	menus menuSet     // per-class menus; zero (nil ops) selects OpsFor
+}
+
+// NewDepolarizing returns the interpreted-engine injector for a noise model:
+// per-class rates and, when m.Eta != 1, a Z-biased two-qubit operator menu.
+// A uniform model reproduces the literal form &Depolarizing{P: p, Rng: rng}
+// bit-identically on the same RNG stream.
+func NewDepolarizing(m Model, rng *rand.Rand) *Depolarizing {
+	d := &Depolarizing{P: m.P1Q, Rng: rng, menus: newMenuSet(m.Eta)}
+	if p, ok := m.UniformRate(); ok {
+		d.P = p
+		return d
+	}
+	d.rates = &[3]float64{m.P1Q, m.P2Q, m.PMeas}
+	return d
 }
 
 // Next implements Injector.
 func (d *Depolarizing) Next(kind LocKind) Fault {
-	if d.Rng.Float64() >= d.P {
+	p := d.P
+	if d.rates != nil {
+		p = d.rates[kind]
+	}
+	if d.Rng.Float64() >= p {
 		return Fault{}
 	}
-	ops := OpsFor(kind)
-	return ops[d.Rng.Intn(len(ops))]
+	mn := &d.menus[kind]
+	if mn.ops == nil {
+		ops := OpsFor(kind)
+		return ops[d.Rng.Intn(len(ops))]
+	}
+	if mn.cum == nil {
+		return mn.ops[d.Rng.Intn(len(mn.ops))]
+	}
+	return mn.pick(d.Rng.Float64())
 }

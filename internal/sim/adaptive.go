@@ -165,6 +165,15 @@ func runAdaptive(ctx context.Context, targetRSE float64, maxShots, workers int, 
 // so the reported Shots never exceeds maxShots. Cancelling ctx stops every
 // worker promptly and returns ctx.Err().
 func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE float64, maxShots int, seed int64, workers int) (AdaptiveResult, error) {
+	return est.DirectMCAdaptiveModel(ctx, noise.Uniform(p), targetRSE, maxShots, seed, workers)
+}
+
+// DirectMCAdaptiveModel is DirectMCAdaptive over a per-class noise model:
+// the sampling engines draw each location class at its own rate (and, for
+// Eta != 1, from the Z-biased two-qubit menu), while the block scheduling,
+// stopping rule and determinism contract are unchanged. A uniform-rate model
+// with Eta == 1 reproduces DirectMCAdaptive(p, ...) bit-identically.
+func (est *Estimator) DirectMCAdaptiveModel(ctx context.Context, m noise.Model, targetRSE float64, maxShots int, seed int64, workers int) (AdaptiveResult, error) {
 	if maxShots <= 0 {
 		return AdaptiveResult{}, fmt.Errorf("%w: %d max shots", ErrBadShots, maxShots)
 	}
@@ -179,7 +188,7 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 	// re-keyed per block so the runner owner does not matter.
 	ws := make([]*BlockRunner, workers)
 	for w := range ws {
-		r, err := est.NewBlockRunner(MethodDirect, p)
+		r, err := est.NewBlockRunnerModel(MethodDirect, m)
 		if err != nil {
 			return AdaptiveResult{}, err
 		}
@@ -193,7 +202,7 @@ func (est *Estimator) DirectMCAdaptive(ctx context.Context, p float64, targetRSE
 		return AdaptiveResult{}, err
 	}
 
-	res, err := Counts{Shots: int64(shots), Fails: int64(fails)}.Result(MethodDirect, p, 0)
+	res, err := Counts{Shots: int64(shots), Fails: int64(fails)}.Result(MethodDirect, m.P1Q, 0)
 	if err != nil {
 		return AdaptiveResult{}, err
 	}

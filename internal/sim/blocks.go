@@ -183,6 +183,64 @@ func (c Counts) Result(method Method, p float64, locations int) (AdaptiveResult,
 	return AdaptiveResult{}, fmt.Errorf("sim: Counts.Result needs a resolved method (direct or rare), got %q", method)
 }
 
+// ResultModel is Result over a per-class noise model: counts holds the
+// protocol's fault locations by class (Estimator.ClassCounts), the
+// conditioning weight becomes noise.CondProbModel and the
+// post-stratification weights CondWeightsModel. A uniform-rate model (and
+// any MethodDirect pool, whose statistics do not depend on the model)
+// delegates to Result bit-identically.
+func (c Counts) ResultModel(method Method, m noise.Model, counts [3]int) (AdaptiveResult, error) {
+	total := counts[0] + counts[1] + counts[2]
+	if p, ok := m.UniformRate(); ok {
+		return c.Result(method, p, total)
+	}
+	if method != MethodRare {
+		return c.Result(method, m.P1Q, total)
+	}
+	if c.Shots <= 0 {
+		return AdaptiveResult{}, fmt.Errorf("%w: cannot finish a pool of %d shots", ErrBadShots, c.Shots)
+	}
+	if m.MaxRate() >= 1 {
+		return AdaptiveResult{}, fmt.Errorf("%w: max class rate = %g", ErrBadRate, m.MaxRate())
+	}
+	if total <= 0 {
+		return AdaptiveResult{}, fmt.Errorf("%w: %d fault locations", ErrBadRate, total)
+	}
+	condP := noise.CondProbModel(m, counts)
+	if condP <= 0 {
+		return AdaptiveResult{}, fmt.Errorf("%w: model fires no faults on this protocol", ErrBadRate)
+	}
+	q := float64(c.Fails) / float64(c.Shots)
+	res := AdaptiveResult{
+		PL:     condP * q,
+		Shots:  int(c.Shots),
+		Fails:  int(c.Fails),
+		Method: MethodRare,
+		CondP:  condP,
+	}
+	res.RSE = RSE(c.Fails, c.Shots)
+	lo, hi := Wilson(int(c.Fails), int(c.Shots))
+	res.CILo, res.CIHi = condP*lo, condP*hi
+
+	weights := CondWeightsModel(counts, rareMaxW, m)
+	var sumW, sumW2 float64
+	for _, s := range c.Strata {
+		if s.Shots <= 0 || s.W < 0 || s.W > rareMaxW {
+			continue // W outside [0, rareMaxW] carries no binomial mass
+		}
+		sumW += weights[s.W]
+		sumW2 += weights[s.W] * weights[s.W] / float64(s.Shots)
+	}
+	res.EffectiveSamples = float64(c.Shots)
+	if sumW2 > 0 {
+		res.EffectiveSamples = sumW * sumW / sumW2
+	}
+	if res.EffectiveSamples > 0 {
+		res.WeightVariance = math.Max(0, float64(c.Shots)/res.EffectiveSamples-1)
+	}
+	return res, nil
+}
+
 // stratum is the bare per-fault-count accumulator shared by the rare-event
 // estimator's workers and the block runner.
 type stratum struct{ shots, fails int }
@@ -225,21 +283,31 @@ type BlockRunner struct {
 // engine (SetEngine), which is part of the deterministic identity of the
 // stream: batch and scalar engines draw different RNG sequences.
 func (est *Estimator) NewBlockRunner(method Method, p float64) (*BlockRunner, error) {
-	m, err := est.resolveMethod(method, p)
+	return est.NewBlockRunnerModel(method, noise.Uniform(p))
+}
+
+// NewBlockRunnerModel is NewBlockRunner over a per-class noise model; an
+// explicit MethodRare requires every class rate below 1 and a model that can
+// fire at least one fault on the protocol (ErrBadRate). A uniform-rate model
+// with Eta == 1 constructs exactly the legacy engines, so its blocks draw the
+// same RNG streams as NewBlockRunner(method, p) bit-for-bit.
+func (est *Estimator) NewBlockRunnerModel(method Method, model noise.Model) (*BlockRunner, error) {
+	m, err := est.resolveMethodModel(method, model)
 	if err != nil {
 		return nil, err
 	}
-	r := &BlockRunner{est: est, method: m, p: p, batch: est.useBatch()}
+	r := &BlockRunner{est: est, method: m, p: model.P1Q, batch: est.useBatch()}
 	if m == MethodRare {
-		r.n = est.Locations()
+		kinds := est.LocationKinds()
+		r.n = len(kinds)
 		if r.n <= 0 {
 			return nil, fmt.Errorf("%w: protocol has no fault locations", ErrBadRate)
 		}
 		if r.batch {
-			r.csmp = noise.NewCondSampler(p, r.n, 0)
+			r.csmp = noise.NewCondSamplerModel(model, kinds, 0)
 			r.bs = est.batch.NewShot()
 		} else {
-			r.cj = noise.NewCondInjector(p, r.n, 0)
+			r.cj = noise.NewCondInjectorModel(model, kinds, 0)
 			if est.prog != nil {
 				r.sh = est.prog.NewShot()
 			}
@@ -247,10 +315,10 @@ func (est *Estimator) NewBlockRunner(method Method, p float64) (*BlockRunner, er
 		return r, nil
 	}
 	if r.batch {
-		r.smp = noise.NewSparseSampler(p, 0)
+		r.smp = noise.NewSparseSamplerModel(model, 0)
 		r.bs = est.batch.NewShot()
 	} else {
-		r.inj = &noise.Depolarizing{P: p, Rng: rand.New(rand.NewSource(0))}
+		r.inj = noise.NewDepolarizing(model, rand.New(rand.NewSource(0)))
 		if est.prog != nil {
 			r.sh = est.prog.NewShot()
 		}

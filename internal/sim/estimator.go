@@ -53,12 +53,33 @@ type xDecoder interface {
 }
 
 type Estimator struct {
-	P      *core.Protocol
-	decX   xDecoder // corrects X errors via Z checks
-	prog   *Program // compiled shot engine; nil if compilation failed
-	batch  *Batch   // 64-lane engine over prog; nil if compilation failed
-	engine Engine   // requested engine; resolved by useBatch
-	locs   int      // cached fault-location count; 0 until Locations runs
+	P        *core.Protocol
+	decX     xDecoder        // corrects X errors via Z checks
+	prog     *Program        // compiled shot engine; nil if compilation failed
+	batch    *Batch          // 64-lane engine over prog; nil if compilation failed
+	engine   Engine          // requested engine; resolved by useBatch
+	locs     int             // cached fault-location count; 0 until Locations runs
+	locKinds []noise.LocKind // cached fault-free-path location kinds
+}
+
+// LocationKinds returns the location-kind vector of the protocol's
+// fault-free path in execution order — the per-class view of Locations,
+// needed by the per-class conditional samplers and the fault-order
+// enumerator — counting it on first use and caching it on the estimator.
+func (est *Estimator) LocationKinds() []noise.LocKind {
+	if est.locKinds == nil {
+		ctr := &noise.Counter{}
+		Run(est.P, ctr)
+		est.locKinds = ctr.Kinds
+		est.locs = len(ctr.Kinds)
+	}
+	return est.locKinds
+}
+
+// ClassCounts returns the per-class location counts of the fault-free path,
+// indexed by noise.LocKind.
+func (est *Estimator) ClassCounts() [3]int {
+	return noise.CountKinds(est.LocationKinds())
 }
 
 // NewEstimator builds the decoder for the protocol's code and compiles the
@@ -165,6 +186,13 @@ func (b *Batch) sample(bs *BatchShot, inj noise.BatchInjector, shots int) int {
 type FaultOrderResult struct {
 	N int // fault locations on the fault-free path
 	F []float64
+
+	// ClassCounts breaks N down by location class (indexed by
+	// noise.LocKind); populated by FaultOrder and FaultOrderModel, and
+	// required by RateModel under a per-class model. Results built
+	// elsewhere (e.g. RareEventResult.ToFaultOrder) leave it zero and
+	// support only uniform-rate recombination.
+	ClassCounts [3]int
 }
 
 // FaultOrder computes the stratified estimator (the dynamic-subset-sampling
@@ -193,7 +221,7 @@ func (est *Estimator) FaultOrder(ctx context.Context, maxW, samples int, rng *ra
 	if maxW > n {
 		return FaultOrderResult{}, fmt.Errorf("%w: maxW %d exceeds the %d fault locations", ErrBadOrder, maxW, n)
 	}
-	res := FaultOrderResult{N: n, F: make([]float64, maxW+1)}
+	res := FaultOrderResult{N: n, F: make([]float64, maxW+1), ClassCounts: noise.CountKinds(kinds)}
 
 	if maxW >= 1 {
 		// Exhaustive order 1, weighting each location uniformly and each
@@ -243,6 +271,124 @@ func (est *Estimator) FaultOrder(ctx context.Context, maxW, samples int, rng *ra
 	return res, nil
 }
 
+// FaultOrderModel generalizes FaultOrder to a per-class noise model given as
+// a ratio model: the class rates of ratio are relative weights (their overall
+// scale cancels — pass the model at any physical rate, or the ratio vector
+// itself), and ratio.Eta tilts the two-qubit operator menu. Locations are
+// weighted by their class rate and operators by the menu weights — the
+// conditional fault distribution of the model in the p -> 0 limit, which is
+// the regime the stratified estimator targets (at finite rates the
+// order-conditional location law acquires O(p) corrections the subset sampler
+// ignores, exactly as published subset-sampling estimators do). A uniform
+// ratio delegates to FaultOrder bit-identically. Recombine with RateModel.
+func (est *Estimator) FaultOrderModel(ctx context.Context, maxW, samples int, rng *rand.Rand, ratio noise.Model) (FaultOrderResult, error) {
+	if ratio.IsUniform() {
+		return est.FaultOrder(ctx, maxW, samples, rng)
+	}
+	if maxW < 0 {
+		return FaultOrderResult{}, fmt.Errorf("%w: maxW %d < 0", ErrBadOrder, maxW)
+	}
+	if maxW >= 2 && samples <= 0 {
+		return FaultOrderResult{}, fmt.Errorf("%w: %d samples for sampled orders 2..%d", ErrBadSamples, samples, maxW)
+	}
+	kinds := est.LocationKinds()
+	n := len(kinds)
+	if maxW > n {
+		return FaultOrderResult{}, fmt.Errorf("%w: maxW %d exceeds the %d fault locations", ErrBadOrder, maxW, n)
+	}
+	res := FaultOrderResult{N: n, F: make([]float64, maxW+1), ClassCounts: noise.CountKinds(kinds)}
+
+	// Per-class operator distributions and their cumulative tables, built
+	// once for the whole enumeration.
+	var opW, opCum [3][]float64
+	for k := range opW {
+		opW[k] = noise.OpWeights(noise.LocKind(k), ratio.Eta)
+		opCum[k] = make([]float64, len(opW[k]))
+		cum := 0.0
+		for i, w := range opW[k] {
+			cum += w
+			opCum[k][i] = cum
+		}
+		opCum[k][len(opCum[k])-1] = 1
+	}
+	classW := [3]float64{ratio.P1Q, ratio.P2Q, ratio.PMeas}
+
+	if maxW >= 1 {
+		// Exhaustive order 1: locations weighted by their class rate,
+		// operators by the biased menu weights — the model's single-fault
+		// conditionals.
+		var sum, totW float64
+		for loc, kind := range kinds {
+			if err := ctx.Err(); err != nil {
+				return FaultOrderResult{}, err
+			}
+			ops := noise.OpsFor(kind)
+			var x float64
+			for oi, op := range ops {
+				out := Run(est.P, noise.NewPlan(map[int]noise.Fault{loc: op}))
+				if est.Judge(out) {
+					x += opW[kind][oi]
+				}
+			}
+			sum += classW[kind] * x
+			totW += classW[kind]
+		}
+		res.F[1] = sum / totW
+	}
+
+	// Per-class location index lists and the class-selection distribution
+	// for the sampled orders.
+	var locIdx [3][]int32
+	for loc, kind := range kinds {
+		locIdx[kind] = append(locIdx[kind], int32(loc))
+	}
+	var classCum [3]float64
+	classTot := 0.0
+	for k := range classCum {
+		classTot += classW[k] * float64(len(locIdx[k]))
+		classCum[k] = classTot
+	}
+
+	for w := 2; w <= maxW; w++ {
+		var x float64
+		for s := 0; s < samples; s++ {
+			if s%ctxPollShots == 0 {
+				if err := ctx.Err(); err != nil {
+					return FaultOrderResult{}, err
+				}
+			}
+			faults := map[int]noise.Fault{}
+			for len(faults) < w {
+				u := rng.Float64() * classTot
+				kind := 0
+				// Skip past lighter classes and — at exact cum boundaries —
+				// classes that carry no mass at all.
+				for kind < 2 && (u > classCum[kind] || classW[kind]*float64(len(locIdx[kind])) == 0) {
+					kind++
+				}
+				idx := locIdx[kind]
+				loc := int(idx[rng.Intn(len(idx))])
+				if _, dup := faults[loc]; dup {
+					continue
+				}
+				ops := noise.OpsFor(noise.LocKind(kind))
+				uo := rng.Float64()
+				oi := 0
+				for oi < len(ops)-1 && uo > opCum[kind][oi] {
+					oi++
+				}
+				faults[loc] = ops[oi]
+			}
+			out := Run(est.P, noise.NewPlan(faults))
+			if est.Judge(out) {
+				x++
+			}
+		}
+		res.F[w] = x / float64(samples)
+	}
+	return res, nil
+}
+
 // Rate evaluates the stratified logical error rate at physical rate p:
 // pL(p) = Σ_w C(N,w) p^w (1-p)^(N-w) F[w], with the unsampled tail
 // (w > maxW) bounded by 1/2 as in dynamic subset sampling's upper bound.
@@ -254,6 +400,76 @@ func (r FaultOrderResult) Rate(p float64) float64 {
 // RateLower is Rate without the tail bound.
 func (r FaultOrderResult) RateLower(p float64) float64 {
 	return r.rate(p, r.F, false)
+}
+
+// RateModel evaluates the stratified logical error rate under a per-class
+// model m: the fault-order distribution becomes the convolution of the three
+// class binomials Binomial(n_c, p_c) over ClassCounts, replacing the single
+// Binomial(N, p) of Rate, with the same 1/2 tail bound on the uncovered
+// orders. A uniform-rate m delegates to Rate(p) bit-identically; a
+// per-class m requires ClassCounts (populated by FaultOrder and
+// FaultOrderModel).
+func (r FaultOrderResult) RateModel(m noise.Model) float64 {
+	if p, ok := m.UniformRate(); ok {
+		return r.Rate(p)
+	}
+	pmf := orderPMFModel(r.ClassCounts, len(r.F)-1, m)
+	total := 0.0
+	covered := 0.0
+	for w := 0; w < len(r.F); w++ {
+		covered += pmf[w]
+		total += pmf[w] * r.F[w]
+	}
+	total += 0.5 * math.Max(0, 1-covered)
+	return total
+}
+
+// orderPMFModel returns the unconditional fault-count distribution
+// P(K = w) for w = 0..maxW under per-class rates: the convolution of the
+// three independent class binomials Binomial(counts[c], p_c). Boundary
+// rates take their exact limits NaN/Inf-free via binomPMF's clamps.
+func orderPMFModel(counts [3]int, maxW int, m noise.Model) []float64 {
+	rates := [3]float64{m.P1Q, m.P2Q, m.PMeas}
+	out := make([]float64, 1, maxW+1)
+	out[0] = 1
+	for c, n := range counts {
+		out = convolveBinom(out, n, rates[c], maxW)
+	}
+	for len(out) < maxW+1 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// convolveBinom convolves a PMF vector with Binomial(n, p), truncating at
+// order maxW (truncation is exact for the retained entries: order w only
+// needs class orders <= w).
+func convolveBinom(a []float64, n int, p float64, maxW int) []float64 {
+	top := n
+	if top > maxW {
+		top = maxW
+	}
+	pmf := make([]float64, top+1)
+	for w := 0; w <= top; w++ {
+		pmf[w] = binomPMF(n, w, p)
+	}
+	hi := len(a) - 1 + top
+	if hi > maxW {
+		hi = maxW
+	}
+	res := make([]float64, hi+1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, pv := range pmf {
+			if i+j > maxW {
+				break
+			}
+			res[i+j] += av * pv
+		}
+	}
+	return res
 }
 
 func (r FaultOrderResult) rate(p float64, f []float64, tail bool) float64 {
@@ -271,9 +487,17 @@ func (r FaultOrderResult) rate(p float64, f []float64, tail bool) float64 {
 }
 
 // binomPMF returns C(n,w) p^w (1-p)^(n-w) computed in logs for stability.
+// Boundary rates take their exact point-mass limits: without the p >= 1
+// branch the w == n term would evaluate 0·log(1-1) = 0·(-Inf) = NaN.
 func binomPMF(n, w int, p float64) float64 {
 	if p <= 0 {
 		if w == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if w == n {
 			return 1
 		}
 		return 0

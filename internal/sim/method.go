@@ -74,6 +74,22 @@ func (est *Estimator) Crossover(p float64) Method {
 	return MethodDirect
 }
 
+// CrossoverModel generalizes Crossover to per-class noise models: MethodRare
+// when every class rate lies below 1 and 0 < P(#faults >= 1) < the crossover
+// threshold under the model's per-class location counts, MethodDirect
+// otherwise. A uniform-rate model resolves exactly as Crossover does.
+func (est *Estimator) CrossoverModel(m noise.Model) Method {
+	if p, ok := m.UniformRate(); ok {
+		return est.Crossover(p)
+	}
+	if m.MaxRate() < 1 {
+		if cp := noise.CondProbModel(m, est.ClassCounts()); cp > 0 && cp < rareCrossover {
+			return MethodRare
+		}
+	}
+	return MethodDirect
+}
+
 // resolveMethod maps a requested method to the one that will run,
 // validating the rare-event rate requirement.
 func (est *Estimator) resolveMethod(m Method, p float64) (Method, error) {
@@ -90,22 +106,56 @@ func (est *Estimator) resolveMethod(m Method, p float64) (Method, error) {
 	}
 }
 
+// resolveMethodModel is resolveMethod over a per-class model: an explicit
+// MethodRare needs every class rate below 1 and a strictly positive
+// conditioning probability under the model (ErrBadRate otherwise), the exact
+// generalization of the uniform 0 < p < 1 requirement.
+func (est *Estimator) resolveMethodModel(method Method, m noise.Model) (Method, error) {
+	if p, ok := m.UniformRate(); ok {
+		return est.resolveMethod(method, p)
+	}
+	switch method {
+	case MethodRare:
+		if m.MaxRate() >= 1 {
+			return method, fmt.Errorf("%w: max class rate = %g", ErrBadRate, m.MaxRate())
+		}
+		if noise.CondProbModel(m, est.ClassCounts()) <= 0 {
+			return method, fmt.Errorf("%w: model fires no faults on this protocol", ErrBadRate)
+		}
+		return MethodRare, nil
+	case MethodDirect:
+		return MethodDirect, nil
+	default:
+		return est.CrossoverModel(m), nil
+	}
+}
+
 // Adaptive is the method-dispatching adaptive estimation entry point: it
 // resolves the requested method against the crossover policy (MethodAuto)
 // and runs DirectMCAdaptive or RareEventAdaptive accordingly. The argument
 // contract is the union of the two: ErrBadShots, ErrBadTarget, and — for an
 // explicit MethodRare at a rate outside (0, 1) — ErrBadRate.
 func (est *Estimator) Adaptive(ctx context.Context, method Method, p, targetRSE float64, maxShots int, seed int64, workers int) (AdaptiveResult, error) {
-	m, err := est.resolveMethod(method, p)
+	return est.AdaptiveModel(ctx, method, noise.Uniform(p), targetRSE, maxShots, seed, workers)
+}
+
+// AdaptiveModel is Adaptive over a per-class noise model, dispatching to
+// DirectMCAdaptiveModel or RareEventAdaptiveModel after resolving the method
+// with resolveMethodModel. Adaptive(p, ...) is exactly
+// AdaptiveModel(noise.Uniform(p), ...): a uniform-rate model with Eta == 1
+// draws the same RNG streams as the legacy scalar-rate estimators and
+// reproduces their results bit-identically.
+func (est *Estimator) AdaptiveModel(ctx context.Context, method Method, m noise.Model, targetRSE float64, maxShots int, seed int64, workers int) (AdaptiveResult, error) {
+	resolved, err := est.resolveMethodModel(method, m)
 	if err != nil {
 		return AdaptiveResult{}, err
 	}
-	if m == MethodRare {
-		r, err := est.RareEventAdaptive(ctx, p, targetRSE, maxShots, seed, workers)
+	if resolved == MethodRare {
+		r, err := est.RareEventAdaptiveModel(ctx, m, targetRSE, maxShots, seed, workers)
 		if err != nil {
 			return AdaptiveResult{}, err
 		}
 		return r.AdaptiveResult, nil
 	}
-	return est.DirectMCAdaptive(ctx, p, targetRSE, maxShots, seed, workers)
+	return est.DirectMCAdaptiveModel(ctx, m, targetRSE, maxShots, seed, workers)
 }

@@ -53,6 +53,32 @@ func CondWeights(n, maxW int, p float64) []float64 {
 	return weights
 }
 
+// CondWeightsModel generalizes CondWeights to per-class rates: the fault
+// count K becomes the sum of three independent class binomials
+// Binomial(counts[c], p_c), so weights[w] = P(K = w) / P(K >= 1) with the
+// numerator computed by exact convolution (orderPMFModel) and the
+// denominator by noise.CondProbModel. Boundary rates keep their exact
+// NaN/Inf-free limits: an all-zero model returns all zeros, a class at rate
+// 1 contributes its point mass at counts[c]. A uniform-rate model delegates
+// to CondWeights bit-identically.
+func CondWeightsModel(counts [3]int, maxW int, m noise.Model) []float64 {
+	if p, ok := m.UniformRate(); ok {
+		return CondWeights(counts[0]+counts[1]+counts[2], maxW, p)
+	}
+	weights := make([]float64, maxW+1)
+	condP := noise.CondProbModel(m, counts)
+	if condP <= 0 {
+		return weights
+	}
+	pmf := orderPMFModel(counts, maxW, m)
+	for w := 1; w <= maxW; w++ {
+		if weights[w] = pmf[w] / condP; weights[w] > 1 {
+			weights[w] = 1
+		}
+	}
+	return weights
+}
+
 // RareStratum is one realized-fault-count stratum of a rare-event run.
 type RareStratum struct {
 	// W is the realized fault count of the stratum; the top stratum
@@ -131,18 +157,40 @@ func (r RareEventResult) ToFaultOrder() FaultOrderResult {
 // count, yielding FaultOrder-compatible strata plus the Kish effective
 // sample size and weight variance of the post-stratification weights.
 func (est *Estimator) RareEventAdaptive(ctx context.Context, p float64, targetRSE float64, maxShots int, seed int64, workers int) (RareEventResult, error) {
+	return est.RareEventAdaptiveModel(ctx, noise.Uniform(p), targetRSE, maxShots, seed, workers)
+}
+
+// RareEventAdaptiveModel is RareEventAdaptive over a per-class noise model:
+// conditional shots draw the first fault from the exact per-class first-fault
+// distribution (see noise.NewCondSamplerModel), the conditioning weight
+// becomes CondP = 1-∏_c(1-p_c)^(n_c), and the strata weights come from the
+// class-binomial convolution (CondWeightsModel). The model must have every
+// class rate below 1 and a strictly positive CondP on the protocol
+// (ErrBadRate); a uniform-rate model with Eta == 1 reproduces
+// RareEventAdaptive(p, ...) bit-identically.
+func (est *Estimator) RareEventAdaptiveModel(ctx context.Context, m noise.Model, targetRSE float64, maxShots int, seed int64, workers int) (RareEventResult, error) {
 	if maxShots <= 0 {
 		return RareEventResult{}, fmt.Errorf("%w: %d max shots", ErrBadShots, maxShots)
 	}
 	if targetRSE < 0 || targetRSE >= 1 {
 		return RareEventResult{}, fmt.Errorf("%w: %g outside [0,1)", ErrBadTarget, targetRSE)
 	}
-	if p <= 0 || p >= 1 {
-		return RareEventResult{}, fmt.Errorf("%w: p = %g", ErrBadRate, p)
+	uniform := false
+	if p, ok := m.UniformRate(); ok {
+		uniform = true
+		if p <= 0 || p >= 1 {
+			return RareEventResult{}, fmt.Errorf("%w: p = %g", ErrBadRate, p)
+		}
+	} else if m.MaxRate() >= 1 {
+		return RareEventResult{}, fmt.Errorf("%w: max class rate = %g", ErrBadRate, m.MaxRate())
 	}
-	n := est.Locations()
+	counts := est.ClassCounts()
+	n := counts[0] + counts[1] + counts[2]
 	if n <= 0 {
 		return RareEventResult{}, fmt.Errorf("%w: protocol has no fault locations", ErrBadRate)
+	}
+	if !uniform && noise.CondProbModel(m, counts) <= 0 {
+		return RareEventResult{}, fmt.Errorf("%w: model fires no faults on this protocol", ErrBadRate)
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -152,7 +200,7 @@ func (est *Estimator) RareEventAdaptive(ctx context.Context, p float64, targetRS
 	// runner owner does not matter.
 	ws := make([]*BlockRunner, workers)
 	for w := range ws {
-		r, err := est.NewBlockRunner(MethodRare, p)
+		r, err := est.NewBlockRunnerModel(MethodRare, m)
 		if err != nil {
 			return RareEventResult{}, err
 		}
@@ -177,7 +225,7 @@ func (est *Estimator) RareEventAdaptive(ctx context.Context, p float64, targetRS
 	pooled := PoolCounts(parts...)
 	pooled.Shots, pooled.Fails = int64(shots), int64(fails)
 
-	ar, err := pooled.Result(MethodRare, p, n)
+	ar, err := pooled.ResultModel(MethodRare, m, counts)
 	if err != nil {
 		return RareEventResult{}, err
 	}
@@ -192,7 +240,7 @@ func (est *Estimator) RareEventAdaptive(ctx context.Context, p float64, targetRS
 
 	// The stratified view with its post-stratification weights, the
 	// FaultOrder-compatible breakdown of the same shots.
-	weights := CondWeights(n, rareMaxW, p)
+	weights := CondWeightsModel(counts, rareMaxW, m)
 	for _, s := range pooled.Strata {
 		res.Strata = append(res.Strata, RareStratum{
 			W: s.W, Shots: int(s.Shots), Fails: int(s.Fails), Weight: weights[s.W],
