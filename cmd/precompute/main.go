@@ -12,6 +12,12 @@
 // solver work, so re-running precompute after adding one code to the list
 // only pays for the new code.
 //
+// With -store-ro existing catalogs are mounted read-only under the writable
+// -store-dir overlay: protocols already present in a base catalog are
+// skipped, and only the delta is written to -store-dir — the recipe for
+// building an incremental catalog layer on top of a shipped base image.
+// -list with only -store-ro inspects a catalog without writing anything.
+//
 // With -estimate it additionally runs (or resumes) one persistent
 // estimation job per synthesized protocol — by default the paper's Fig. 4
 // curve at an adaptive 10% relative standard error — storing the
@@ -28,6 +34,8 @@
 //	precompute -store-dir ./protocols -prep opt -verif global
 //	precompute -store-dir ./protocols -list              # show what is stored
 //	precompute -store-dir ./data -codes Steane -estimate # protocols + curves
+//	precompute -store-dir ./delta -store-ro ./base       # incremental layer
+//	precompute -store-ro ./base -list                    # inspect a catalog
 package main
 
 import (
@@ -57,7 +65,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("precompute", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		storeDir = fs.String("store-dir", "", "store directory to fill (required)")
+		storeDir = fs.String("store-dir", "", "writable store directory to fill (required unless -list with -store-ro)")
+		storeRO  = fs.String("store-ro", "", "comma-separated read-only base catalogs; protocols found there are not re-synthesized")
 		codes    = fs.String("codes", "", "comma-separated catalog code names (default: the whole catalog)")
 		prep     = fs.String("prep", "heu", "preparation synthesis: heu or opt")
 		verif    = fs.String("verif", "opt", "verification synthesis: opt or global")
@@ -74,8 +83,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *storeDir == "" {
-		fmt.Fprintln(stderr, "precompute: -store-dir is required")
+	var roDirs []string
+	for _, dir := range strings.Split(*storeRO, ",") {
+		if dir = strings.TrimSpace(dir); dir != "" {
+			roDirs = append(roDirs, dir)
+		}
+	}
+	if *storeDir == "" && !(*list && len(roDirs) > 0) {
+		fmt.Fprintln(stderr, "precompute: -store-dir is required (add read-only base catalogs with -store-ro)")
 		fs.Usage()
 		return 2
 	}
@@ -86,7 +101,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	svc := dftsp.NewService(0)
-	if err := svc.AttachStore(*storeDir); err != nil {
+	if err := svc.AttachStoreTiers(*storeDir, roDirs...); err != nil {
 		fmt.Fprintln(stderr, "precompute:", err)
 		return 1
 	}

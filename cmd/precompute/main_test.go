@@ -138,3 +138,52 @@ func TestPrecomputeEstimateRejectsBadRates(t *testing.T) {
 		t.Fatalf("exit %d stderr %q, want 2 with bad-rate detail", code, errOut)
 	}
 }
+
+// TestPrecomputeStoreROBuildsIncrementalLayer checks the read-only base
+// catalog recipe: codes present in the base are skipped without writes, the
+// delta lands in the writable overlay only, and -list with only -store-ro
+// inspects a catalog without requiring a writable directory.
+func TestPrecomputeStoreROBuildsIncrementalLayer(t *testing.T) {
+	base := t.TempDir()
+	if code, _, errOut := runCLI(t, "-store-dir", base, "-codes", "Steane"); code != 0 {
+		t.Fatalf("building base catalog: %s", errOut)
+	}
+
+	delta := t.TempDir()
+	code, out, errOut := runCLI(t, "-store-dir", delta, "-store-ro", base, "-codes", "Steane,Shor")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "stored    Steane") {
+		t.Fatalf("base-catalog protocol was not skipped:\n%s", out)
+	}
+	if !strings.Contains(out, "computed  Shor") {
+		t.Fatalf("delta protocol was not synthesized:\n%s", out)
+	}
+	if !strings.Contains(out, "1 synthesized, 1 already stored, 0 failed") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+	for dir, want := range map[string]int{base: 1, delta: 1} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != want {
+			t.Fatalf("%s holds %d files, want %d (delta must not touch the base)", dir, len(entries), want)
+		}
+	}
+
+	// A read-only catalog can be listed without any writable overlay.
+	code, out, _ = runCLI(t, "-store-ro", base, "-list")
+	if code != 0 {
+		t.Fatalf("list exit %d", code)
+	}
+	if !strings.Contains(out, "Steane") || !strings.Contains(out, "1 protocols in") {
+		t.Fatalf("read-only listing:\n%s", out)
+	}
+
+	// Synthesizing without a writable overlay is refused up front.
+	if code, _, _ := runCLI(t, "-store-ro", base, "-codes", "Shor"); code != 2 {
+		t.Fatalf("exit %d synthesizing into a read-only catalog, want 2", code)
+	}
+}

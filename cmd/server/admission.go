@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// clientLimiter is a per-client token-bucket rate limiter. Each client
+// (keyed by X-Client-Id or remote address) owns a bucket of `burst` tokens
+// refilled at `rate` tokens per second; a request spends one token or is
+// shed. The zero limiter (nil) admits everything.
+type clientLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one client's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket map; beyond it, full (i.e. idle) buckets are
+// pruned, so an address-spraying client cannot grow server memory without
+// bound.
+const maxClients = 16384
+
+// newClientLimiter builds a limiter admitting `rate` requests per second
+// per client with the given burst capacity (<= 0 selects 2×rate, at least
+// 1). A rate <= 0 returns nil: no limiting.
+func newClientLimiter(rate float64, burst int) *clientLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(2*rate))
+	}
+	return &clientLimiter{rate: rate, burst: b, buckets: map[string]*bucket{}}
+}
+
+// allow spends one token of the client's bucket. When the bucket is empty
+// it reports ok = false and how long until the next token accrues — the
+// 429 response's Retry-After.
+func (l *clientLimiter) allow(client string, now time.Time) (retry time.Duration, ok bool) {
+	if l == nil {
+		return 0, true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk, exists := l.buckets[client]
+	if !exists {
+		if len(l.buckets) >= maxClients {
+			l.prune()
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = bk
+	} else {
+		dt := now.Sub(bk.last).Seconds()
+		if dt > 0 {
+			bk.tokens = math.Min(l.burst, bk.tokens+dt*l.rate)
+			bk.last = now
+		}
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return 0, true
+	}
+	// Seconds until the deficit refills, rounded up to a whole second for
+	// the Retry-After header (which does not speak fractions).
+	wait := (1 - bk.tokens) / l.rate
+	return time.Duration(math.Ceil(wait)) * time.Second, false
+}
+
+// prune drops clients whose buckets are full — they have been idle long
+// enough to refill completely, so forgetting them loses nothing. Called
+// with l.mu held.
+func (l *clientLimiter) prune() {
+	for id, bk := range l.buckets {
+		if bk.tokens >= l.burst {
+			delete(l.buckets, id)
+		}
+	}
+}
+
+// endpointQueue bounds one endpoint's concurrency: at most `inflight`
+// requests execute while at most `queue` more wait for a slot; anything
+// beyond that is shed immediately with 429 instead of stacking a goroutine
+// per request. The zero queue (nil) admits everything.
+type endpointQueue struct {
+	slots chan struct{}
+	load  atomic.Int64 // executing + waiting
+	bound int64        // inflight + queue
+}
+
+// newEndpointQueue builds a queue admitting `inflight` concurrent requests
+// plus `queue` waiters. inflight <= 0 returns nil: no bounding.
+func newEndpointQueue(inflight, queue int) *endpointQueue {
+	if inflight <= 0 {
+		return nil
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &endpointQueue{
+		slots: make(chan struct{}, inflight),
+		bound: int64(inflight + queue),
+	}
+}
+
+// admit claims an execution slot, waiting in the bounded queue if the
+// endpoint is busy. It returns a release func and ok = true once a slot is
+// held; ok = false when the queue is full (shed the request) or ctx ended
+// while waiting. release must be called exactly once when ok.
+func (q *endpointQueue) admit(ctx context.Context) (release func(), ok bool) {
+	if q == nil {
+		return func() {}, true
+	}
+	if q.load.Add(1) > q.bound {
+		q.load.Add(-1)
+		return nil, false
+	}
+	select {
+	case q.slots <- struct{}{}:
+		return func() {
+			<-q.slots
+			q.load.Add(-1)
+		}, true
+	case <-ctx.Done():
+		q.load.Add(-1)
+		return nil, false
+	}
+}
+
+// clientID identifies the requester for rate limiting: the explicit
+// X-Client-Id header when present (so replicas behind one proxy address can
+// be told apart), otherwise the remote host without its ephemeral port.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// statusWriter records the status code written to a response so the access
+// log and the request-counter labels can report it. It forwards Flush so
+// the NDJSON streaming handlers (/batch, /jobs/{id}/events) keep flushing
+// per event through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+// WriteHeader records the first status code written.
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write defaults the recorded status to 200, like net/http does.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer when it can flush.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

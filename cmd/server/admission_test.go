@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestClientLimiterTokenBucket drives the token bucket with injected
+// timestamps: the burst is spent request by request, the empty bucket sheds
+// with a whole-second Retry-After, and tokens accrue again at the refill
+// rate.
+func TestClientLimiterTokenBucket(t *testing.T) {
+	l := newClientLimiter(1, 2) // 1 req/s, burst 2
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if _, ok := l.allow("a", t0); !ok {
+			t.Fatalf("request %d within burst was shed", i)
+		}
+	}
+	retry, ok := l.allow("a", t0)
+	if ok {
+		t.Fatal("request beyond burst was admitted")
+	}
+	if retry < time.Second {
+		t.Fatalf("Retry-After %s, want >= 1s", retry)
+	}
+	// Another client has its own bucket.
+	if _, ok := l.allow("b", t0); !ok {
+		t.Fatal("fresh client was shed by another client's empty bucket")
+	}
+	// One second later exactly one token has refilled.
+	t1 := t0.Add(time.Second)
+	if _, ok := l.allow("a", t1); !ok {
+		t.Fatal("refilled token was not spent")
+	}
+	if _, ok := l.allow("a", t1); ok {
+		t.Fatal("second request after a 1-token refill was admitted")
+	}
+}
+
+// TestClientLimiterDefaults checks the nil (disabled) limiter and the
+// derived burst default.
+func TestClientLimiterDefaults(t *testing.T) {
+	if l := newClientLimiter(0, 5); l != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+	var l *clientLimiter
+	if _, ok := l.allow("x", time.Now()); !ok {
+		t.Fatal("nil limiter must admit everything")
+	}
+	if got := newClientLimiter(3, 0).burst; got != 6 {
+		t.Fatalf("default burst for rate 3 = %v, want 6 (2x rate)", got)
+	}
+	if got := newClientLimiter(0.2, 0).burst; got != 1 {
+		t.Fatalf("default burst for rate 0.2 = %v, want at least 1", got)
+	}
+}
+
+// TestClientLimiterPrune checks that the bucket map sheds idle (fully
+// refilled) clients and keeps active ones.
+func TestClientLimiterPrune(t *testing.T) {
+	l := newClientLimiter(1, 2)
+	t0 := time.Unix(1000, 0)
+	l.allow("active", t0) // spends a token; not prunable
+	l.buckets["idle"] = &bucket{tokens: l.burst, last: t0}
+	l.mu.Lock()
+	l.prune()
+	l.mu.Unlock()
+	if _, ok := l.buckets["idle"]; ok {
+		t.Error("full bucket survived prune")
+	}
+	if _, ok := l.buckets["active"]; !ok {
+		t.Error("active bucket was pruned")
+	}
+}
+
+// TestEndpointQueueBounds exercises the bounded admission queue: inflight
+// slots execute, one waiter queues, anything beyond is shed immediately,
+// and a cancelled waiter backs out cleanly.
+func TestEndpointQueueBounds(t *testing.T) {
+	q := newEndpointQueue(1, 1)
+	rel1, ok := q.admit(context.Background())
+	if !ok {
+		t.Fatal("first admit on an empty queue failed")
+	}
+
+	admitted := make(chan func(), 1)
+	go func() {
+		rel, ok := q.admit(context.Background())
+		if !ok {
+			admitted <- nil
+			return
+		}
+		admitted <- rel
+	}()
+	// Wait for the waiter to occupy the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for q.load.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := q.admit(context.Background()); ok {
+		t.Fatal("admit beyond inflight+queue was not shed")
+	}
+	rel1()
+	rel2 := <-admitted
+	if rel2 == nil {
+		t.Fatal("queued waiter was not admitted after release")
+	}
+	rel2()
+	if got := q.load.Load(); got != 0 {
+		t.Fatalf("load %d after all releases, want 0", got)
+	}
+
+	// A waiter whose context ends backs out without leaking load.
+	rel3, _ := q.admit(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := q.admit(ctx); ok {
+		t.Fatal("cancelled waiter was admitted")
+	}
+	rel3()
+	if got := q.load.Load(); got != 0 {
+		t.Fatalf("load %d after cancelled waiter, want 0", got)
+	}
+
+	// The nil queue admits everything.
+	var nq *endpointQueue
+	if rel, ok := nq.admit(context.Background()); !ok {
+		t.Fatal("nil queue must admit")
+	} else {
+		rel()
+	}
+}
+
+// TestClientIDResolution checks the rate-limit key precedence: explicit
+// X-Client-Id, then the remote host without its ephemeral port.
+func TestClientIDResolution(t *testing.T) {
+	r, _ := http.NewRequest("GET", "/stats", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if got := clientID(r); got != "10.1.2.3" {
+		t.Errorf("clientID = %q, want the bare host", got)
+	}
+	r.Header.Set("X-Client-Id", "replica-7")
+	if got := clientID(r); got != "replica-7" {
+		t.Errorf("clientID = %q, want the explicit header", got)
+	}
+	r.Header.Del("X-Client-Id")
+	r.RemoteAddr = "unix-socket"
+	if got := clientID(r); got != "unix-socket" {
+		t.Errorf("clientID = %q, want the raw remote addr", got)
+	}
+}

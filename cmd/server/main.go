@@ -26,9 +26,32 @@
 //	POST /estimate    {"options":{"code":"Steane"},"estimate":{"rates":[1e-3],"mc_shots":10000}}
 //	POST /batch       {"items":[{"code":"Steane"},{"code":"Shor"}]}  → NDJSON event stream
 //	GET  /protocols   protocols servable without synthesis (memory and store)
-//	GET  /stats       cache, store and worker-pool counters
+//	GET  /stats       cache, store and worker-pool counters (JSON)
+//	GET  /metrics     the same counters plus latency histograms, queue depths
+//	                  and HTTP/admission metrics, in Prometheus text format
 //	GET  /healthz     liveness probe
 //	GET  /readyz      readiness probe (503 while booting or draining)
+//
+// Requests to a known route with the wrong method are rejected with 405 and
+// an Allow header. Every response echoes (or generates) an X-Request-Id,
+// and each request is access-logged with method, path, status, duration and
+// whether admission control shed it. /stats and /metrics are served with
+// Cache-Control: no-store. /stats and /metrics read the same telemetry
+// registry — they cannot disagree.
+//
+// Admission control (see docs/operations.md): -rate-limit imposes a
+// per-client token-bucket limit, keyed by X-Client-Id or the remote
+// address; -max-inflight and -max-queue bound each work endpoint
+// (/synthesize, /estimate, /batch, /jobs) to that many executing plus
+// queued requests. Traffic beyond either budget is shed with 429 and a
+// Retry-After header instead of stacking goroutines. Probes (/healthz,
+// /readyz) and /metrics scrapes are never rate-limited or queued.
+//
+// With -store-ro the server mounts pre-warmed read-only protocol catalogs
+// (comma-separated directories, probed in order) under the optional
+// writable -store-dir overlay: catalog protocols are served with zero
+// store writes, while fresh syntheses land in the overlay (or stay
+// memory-only when -store-dir is absent).
 //
 // With -jobs-dir the server additionally exposes persistent estimation
 // jobs (see docs/job-format.md): sampling runs in the background as small
@@ -90,11 +113,15 @@
 //	server -addr :8080 -workers 8 -timeout 5m
 //	server -store-dir /var/lib/dftsp/protocols
 //	server -store-dir /var/lib/dftsp -jobs-dir /var/lib/dftsp
+//	server -store-ro /srv/catalog-v1,/srv/catalog-base
+//	server -rate-limit 10 -max-inflight 8 -max-queue 32
 //	DFTSP_WORKERS=8 server
 package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -103,11 +130,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/dftsp"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -116,14 +147,26 @@ func main() {
 		workers     = flag.Int("workers", 0, "Monte-Carlo workers per estimation job (0: DFTSP_WORKERS or CPU count)")
 		timeout     = flag.Duration("timeout", 10*time.Minute, "per-request timeout (0: none)")
 		storeDir    = flag.String("store-dir", "", "persistent protocol store directory, preloaded at boot (empty: memory-only)")
+		storeRO     = flag.String("store-ro", "", "comma-separated read-only protocol catalogs, probed in order under the -store-dir overlay")
 		jobsDir     = flag.String("jobs-dir", "", "persistent estimation-job directory; enables the /jobs API (empty: disabled)")
 		workersAddr = flag.String("workers-addr", "", "remote worker replica address for job shards (reserved; no transport yet)")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-client requests per second admitted (0: unlimited)")
+		rateBurst   = flag.Int("rate-burst", 0, "per-client token-bucket burst (0: 2x rate-limit, at least 1)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent requests per work endpoint (0: unbounded)")
+		maxQueue    = flag.Int("max-queue", 0, "requests queued per work endpoint beyond max-inflight before shedding with 429")
 	)
 	flag.Parse()
 
+	var roDirs []string
+	for _, dir := range strings.Split(*storeRO, ",") {
+		if dir = strings.TrimSpace(dir); dir != "" {
+			roDirs = append(roDirs, dir)
+		}
+	}
+
 	svc := dftsp.NewService(*workers)
-	if *storeDir != "" {
-		if err := svc.AttachStore(*storeDir); err != nil {
+	if *storeDir != "" || len(roDirs) > 0 {
+		if err := svc.AttachStoreTiers(*storeDir, roDirs...); err != nil {
 			fmt.Fprintln(os.Stderr, "server:", err)
 			os.Exit(1)
 		}
@@ -132,7 +175,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "server: warm start:", err)
 			os.Exit(1)
 		}
-		log.Printf("dftsp server warm-started %d protocols from %s (%d unreadable entries skipped)", loaded, *storeDir, skipped)
+		log.Printf("dftsp server warm-started %d protocols from %s (%d read-only catalogs, %d unreadable entries skipped)",
+			loaded, svc.StoreDir(), len(roDirs), skipped)
 	}
 	if *jobsDir != "" {
 		if err := svc.AttachJobs(*jobsDir, *workersAddr); err != nil {
@@ -147,7 +191,13 @@ func main() {
 		}
 		log.Printf("dftsp server resumed %d unfinished jobs from %s", len(resumed), *jobsDir)
 	}
-	srv := newServer(svc, *timeout)
+	srv := newServer(svc, serverConfig{
+		timeout:     *timeout,
+		rateLimit:   *rateLimit,
+		rateBurst:   *rateBurst,
+		maxInflight: *maxInflight,
+		maxQueue:    *maxQueue,
+	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -179,11 +229,34 @@ func main() {
 	}
 }
 
-// server routes HTTP requests onto a dftsp.Service.
+// serverConfig carries the serving-envelope knobs of newServer. The zero
+// value disables every envelope feature (no timeout, no rate limiting, no
+// queue bounds) — the configuration most tests run under.
+type serverConfig struct {
+	timeout     time.Duration // per-request deadline; 0 disables
+	rateLimit   float64       // per-client requests/sec; 0 disables
+	rateBurst   int           // token-bucket burst; 0 selects the default
+	maxInflight int           // concurrent requests per work endpoint; 0 disables
+	maxQueue    int           // waiters per work endpoint beyond maxInflight
+	accessLog   *log.Logger   // access-log destination; nil selects log.Default()
+}
+
+// server routes HTTP requests onto a dftsp.Service behind the serving
+// envelope: per-client rate limiting, bounded per-endpoint admission
+// queues, request-ID echo, access logging and HTTP telemetry.
 type server struct {
 	svc     *dftsp.Service
 	mux     *http.ServeMux
-	timeout time.Duration // per-request deadline; 0 disables
+	timeout time.Duration
+
+	limiter   *clientLimiter            // nil: no rate limiting
+	queues    map[string]*endpointQueue // per work endpoint; nil entries admit all
+	accessLog *log.Logger
+
+	httpRequests *telemetry.CounterVec   // labels: endpoint, code
+	httpSeconds  *telemetry.HistogramVec // label: endpoint
+	httpInflight map[string]*telemetry.Gauge
+	httpShed     *telemetry.CounterVec // labels: endpoint, reason
 
 	// ready backs /readyz: true once the server can take traffic, false
 	// again while it drains. newServer starts ready because main attaches
@@ -191,20 +264,59 @@ type server struct {
 	ready atomic.Bool
 }
 
-// newServer wires the routes. timeout, when positive, bounds every
-// request's context, so a stuck client cannot pin SAT work forever. The
-// /jobs API is registered only when the service has a job store attached;
-// without one the routes simply 404.
-func newServer(svc *dftsp.Service, timeout time.Duration) *server {
-	s := &server{svc: svc, mux: http.NewServeMux(), timeout: timeout}
+// workEndpoints are the admission-queued endpoint labels: the routes that
+// run SAT solving or Monte-Carlo sampling and so must never stack unbounded
+// goroutines.
+var workEndpoints = []string{"synthesize", "estimate", "batch", "jobs"}
+
+// newServer wires the routes and the serving envelope. cfg.timeout, when
+// positive, bounds every request's context, so a stuck client cannot pin
+// SAT work forever. The /jobs API is registered only when the service has a
+// job store attached; without one the routes simply 404. Every route is
+// registered with its method, so a wrong-method request gets the mux's 405
+// with an Allow header.
+func newServer(svc *dftsp.Service, cfg serverConfig) *server {
+	s := &server{
+		svc:       svc,
+		mux:       http.NewServeMux(),
+		timeout:   cfg.timeout,
+		limiter:   newClientLimiter(cfg.rateLimit, cfg.rateBurst),
+		queues:    map[string]*endpointQueue{},
+		accessLog: cfg.accessLog,
+	}
+	if s.accessLog == nil {
+		s.accessLog = log.Default()
+	}
+	for _, ep := range workEndpoints {
+		s.queues[ep] = newEndpointQueue(cfg.maxInflight, cfg.maxQueue)
+	}
+
+	reg := svc.Metrics()
+	s.httpRequests = reg.CounterVec("dftsp_http_requests_total",
+		"HTTP requests served, by endpoint and status code.", "endpoint", "code")
+	s.httpSeconds = reg.HistogramVec("dftsp_http_request_seconds",
+		"HTTP request wall time, by endpoint.", telemetry.LatencyBuckets, "endpoint")
+	s.httpShed = reg.CounterVec("dftsp_http_shed_total",
+		"Requests shed with 429 by admission control, by endpoint and reason (ratelimit or queue).",
+		"endpoint", "reason")
+	s.httpInflight = map[string]*telemetry.Gauge{}
+	for _, ep := range workEndpoints {
+		s.httpInflight[ep] = reg.Gauge("dftsp_http_inflight_"+ep,
+			"Requests currently executing on the "+ep+" endpoint.")
+	}
+	reg.GaugeFunc("dftsp_go_goroutines",
+		"Goroutines currently alive in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
 	s.ready.Store(true)
-	s.mux.HandleFunc("/synthesize", s.handleSynthesize)
-	s.mux.HandleFunc("/estimate", s.handleEstimate)
-	s.mux.HandleFunc("/batch", s.handleBatch)
-	s.mux.HandleFunc("/protocols", s.handleProtocols)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("POST /estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /protocols", s.handleProtocols)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if svc.JobsDir() != "" {
 		s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 		s.mux.HandleFunc("GET /jobs", s.handleJobList)
@@ -218,13 +330,98 @@ func newServer(svc *dftsp.Service, timeout time.Duration) *server {
 // setReady flips the /readyz readiness state.
 func (s *server) setReady(ready bool) { s.ready.Store(ready) }
 
+// endpointOf maps a request path onto its metrics/admission label. All
+// /jobs/... routes share one label (and one admission queue): they feed
+// the same worker pool.
+func endpointOf(path string) string {
+	switch {
+	case path == "/synthesize", path == "/estimate", path == "/batch",
+		path == "/protocols", path == "/stats", path == "/metrics",
+		path == "/healthz", path == "/readyz":
+		return strings.TrimPrefix(path, "/")
+	case path == "/jobs" || strings.HasPrefix(path, "/jobs/"):
+		return "jobs"
+	default:
+		return "other"
+	}
+}
+
+// exempt reports whether an endpoint bypasses rate limiting and admission
+// queues: probes must stay green on an overloaded server (or the
+// orchestrator kills it for being busy) and metrics scrapes are how the
+// operator sees the overload.
+func exempt(endpoint string) bool {
+	return endpoint == "healthz" || endpoint == "readyz" || endpoint == "metrics"
+}
+
+// ServeHTTP is the serving envelope around the mux: request timeout,
+// request-ID echo, per-client rate limiting, bounded per-endpoint admission
+// queues, HTTP metrics and one structured access-log line per request.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.timeout > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	sw.Header().Set("X-Request-Id", reqID)
+	endpoint := endpointOf(r.URL.Path)
+	client := clientID(r)
+	shed := "-"
+
+	switch {
+	case exempt(endpoint):
+		s.mux.ServeHTTP(sw, r)
+	default:
+		if retry, ok := s.limiter.allow(client, start); !ok {
+			shed = "ratelimit"
+			s.httpShed.With(endpoint, shed).Inc()
+			sw.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+			writeError(sw, http.StatusTooManyRequests,
+				fmt.Errorf("rate limit exceeded; retry after %s", retry))
+			break
+		}
+		release, ok := s.queues[endpoint].admit(r.Context())
+		if !ok {
+			shed = "queue"
+			s.httpShed.With(endpoint, shed).Inc()
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusTooManyRequests,
+				fmt.Errorf("endpoint %s is at capacity; retry shortly", endpoint))
+			break
+		}
+		defer release()
+		if g := s.httpInflight[endpoint]; g != nil {
+			g.Add(1)
+			defer g.Add(-1)
+		}
+		s.mux.ServeHTTP(sw, r)
+	}
+
+	elapsed := time.Since(start)
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK // handler wrote nothing; net/http will send 200
+	}
+	s.httpRequests.With(endpoint, strconv.Itoa(code)).Inc()
+	s.httpSeconds.With(endpoint).Observe(elapsed.Seconds())
+	s.accessLog.Printf("http method=%s path=%s status=%d dur_ms=%d id=%s client=%s shed=%s",
+		r.Method, r.URL.Path, code, elapsed.Milliseconds(), reqID, client, shed)
+}
+
+// newRequestID mints a 16-hex-char random request ID for requests that
+// arrive without one.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // statusOf maps an error from the dftsp v2 taxonomy onto an HTTP status.
@@ -388,10 +585,6 @@ type protocolsResponse struct {
 // invoking the SAT solver: completed in-memory cache entries and, when the
 // server runs with -store-dir, entries of the persistent store.
 func (s *server) handleProtocols(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
 	infos, err := s.svc.Protocols()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -400,12 +593,23 @@ func (s *server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, protocolsResponse{Count: len(infos), Protocols: infos})
 }
 
+// handleStats reports the service counters as JSON. The numbers are read
+// from the same telemetry registry /metrics exposes, so the two views
+// cannot disagree; no-store keeps intermediaries from serving stale
+// counters.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// handleMetrics serves the full telemetry registry in Prometheus text
+// exposition format 0.0.4.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.svc.Metrics().Expose(w); err != nil {
+		log.Printf("server: exposing metrics: %v", err)
+	}
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -418,10 +622,6 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // for shutdown (liveness stays green so the orchestrator does not kill a
 // draining pod) and describes which persistence layers are attached.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
 	resp := map[string]any{
 		"ok":    s.ready.Load(),
 		"store": s.svc.StoreDir() != "",
@@ -537,13 +737,11 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// decodePost enforces the POST+JSON contract shared by the work endpoints,
-// writing the error response itself when the contract is broken.
+// decodePost decodes the JSON contract shared by the work endpoints,
+// writing the error response itself when the body is malformed. Method
+// enforcement lives in the mux's method patterns, which answer wrong-method
+// requests with 405 and an Allow header.
 func decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with a JSON body"))
-		return false
-	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {

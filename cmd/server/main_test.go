@@ -18,7 +18,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(dftsp.NewService(2), 0))
+	ts := httptest.NewServer(newServer(dftsp.NewService(2), serverConfig{}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -28,7 +28,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 // disconnect aborts server-side work".
 func newTrackedServer(t *testing.T) (*httptest.Server, chan struct{}) {
 	t.Helper()
-	srv := newServer(dftsp.NewService(2), 0)
+	srv := newServer(dftsp.NewService(2), serverConfig{})
 	done := make(chan struct{}, 4)
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		srv.ServeHTTP(w, r)
@@ -489,7 +489,7 @@ func newStoreServer(t *testing.T, dir string, warm bool) *httptest.Server {
 			t.Fatal(err)
 		}
 	}
-	ts := httptest.NewServer(newServer(svc, 0))
+	ts := httptest.NewServer(newServer(svc, serverConfig{}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -601,7 +601,7 @@ func newJobsServer(t *testing.T, dir string) (*httptest.Server, *dftsp.Service, 
 	if err := svc.AttachJobs(dir, ""); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(svc, 0)
+	srv := newServer(svc, serverConfig{})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -612,7 +612,7 @@ func newJobsServer(t *testing.T, dir string) (*httptest.Server, *dftsp.Service, 
 
 func TestReadyzTracksDrainState(t *testing.T) {
 	svc := dftsp.NewService(2)
-	srv := newServer(svc, 0)
+	srv := newServer(svc, serverConfig{})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/dftsp"
+	"repro/internal/telemetry"
+)
+
+// TestServingEnvelopeSoak hammers a fully configured server — store, jobs,
+// rate limiting and bounded queues all on — with sustained concurrent
+// synthesize/estimate/jobs/stats traffic plus a deliberate burst phase, and
+// asserts the envelope's two soak invariants: goroutines return to a tight
+// envelope around the starting count (no leak per request, shed or stream),
+// and /metrics still parses as valid exposition format afterwards. Heavy
+// (several seconds even without -race); set DFTSP_SOAK=1 to enable,
+// DFTSP_SOAK_SECONDS to resize.
+func TestServingEnvelopeSoak(t *testing.T) {
+	if os.Getenv("DFTSP_SOAK") == "" {
+		t.Skip("set DFTSP_SOAK=1 to run the soak test")
+	}
+	seconds := 5
+	if v := os.Getenv("DFTSP_SOAK_SECONDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad DFTSP_SOAK_SECONDS %q", v)
+		}
+		seconds = n
+	}
+
+	dir := t.TempDir()
+	svc := dftsp.NewService(2)
+	if err := svc.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AttachJobs(dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(svc, serverConfig{
+		timeout:     time.Minute,
+		rateLimit:   500,
+		rateBurst:   100,
+		maxInflight: 4,
+		maxQueue:    8,
+		accessLog:   log.New(io.Discard, "", 0),
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+
+	client := &http.Client{Timeout: time.Minute}
+	drain := func(resp *http.Response) int {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	post := func(path, body string) (int, error) {
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		return drain(resp), nil
+	}
+	get := func(path string) (int, error) {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			return 0, err
+		}
+		return drain(resp), nil
+	}
+
+	// Phase 1: sustained mixed load. 429s are expected (the limiter is on);
+	// anything else outside {200, 202} fails the soak.
+	var unexpected atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	codes := []string{"Steane", "Shor"}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var status int
+				var err error
+				switch i % 5 {
+				case 0:
+					status, err = post("/synthesize", `{"code":"`+codes[i%2]+`"}`)
+				case 1:
+					status, err = post("/estimate",
+						`{"options":{"code":"Steane"},"estimate":{"rates":[1e-3],"mc_shots":64}}`)
+				case 2:
+					status, err = post("/jobs",
+						`{"options":{"code":"Steane"},"estimate":{"rates":[3e-2],"mc_shots":1024}}`)
+				case 3:
+					status, err = get("/stats")
+				default:
+					status, err = get("/protocols")
+				}
+				if err != nil {
+					unexpected.Add(1)
+					continue
+				}
+				switch status {
+				case http.StatusOK, http.StatusAccepted, http.StatusTooManyRequests:
+				default:
+					unexpected.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(time.Duration(seconds) * time.Second)
+	close(stop)
+	wg.Wait()
+	if n := unexpected.Load(); n > 0 {
+		t.Errorf("%d requests failed with unexpected statuses during sustained load", n)
+	}
+
+	// Phase 2: fill the synthesize endpoint's whole admission envelope
+	// (max-inflight + max-queue slow requests, held open by streaming their
+	// bodies through pipes), then burst past it. Every burst request must be
+	// shed with 429 + Retry-After, and the held requests must still complete
+	// once released — bounded, not broken.
+	const envelope = 4 + 8 // maxInflight + maxQueue above
+	var shed, served atomic.Int64
+	pipes := make([]*io.PipeWriter, envelope)
+	for i := range pipes {
+		pr, pw := io.Pipe()
+		pipes[i] = pw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/synthesize", pr)
+			if err != nil {
+				unexpected.Add(1)
+				return
+			}
+			req.Header.Set("X-Client-Id", "burst-holder") // fresh rate bucket
+			resp, err := client.Do(req)
+			if err != nil {
+				unexpected.Add(1)
+				return
+			}
+			if drain(resp) == http.StatusOK {
+				served.Add(1)
+			} else {
+				unexpected.Add(1)
+			}
+		}()
+	}
+	// Wait until all holders occupy the endpoint's load budget.
+	holdDeadline := time.Now().Add(10 * time.Second)
+	for srv.queues["synthesize"].load.Load() != envelope {
+		if time.Now().After(holdDeadline) {
+			t.Fatalf("holders occupied %d/%d admission slots",
+				srv.queues["synthesize"].load.Load(), envelope)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var probes sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		probes.Add(1)
+		go func() {
+			defer probes.Done()
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/synthesize",
+				strings.NewReader(`{"code":"Steane"}`))
+			req.Header.Set("X-Client-Id", "burst-prober")
+			resp, err := client.Do(req)
+			if err != nil {
+				unexpected.Add(1)
+				return
+			}
+			if drain(resp) != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+				unexpected.Add(1)
+				return
+			}
+			shed.Add(1)
+		}()
+	}
+	probes.Wait()
+	for _, pw := range pipes {
+		pw.Write([]byte(`{"code":"Steane"}`))
+		pw.Close()
+	}
+	wg.Wait()
+	if got := shed.Load(); got != 32 {
+		t.Errorf("shed %d/32 burst requests over a full envelope", got)
+	}
+	if got := served.Load(); got != envelope {
+		t.Errorf("%d/%d held in-budget requests completed with 200", got, envelope)
+	}
+	if n := unexpected.Load(); n > 0 {
+		t.Errorf("%d requests misbehaved (bad status or 429 without Retry-After)", n)
+	}
+
+	// The jobs submitted during the soak keep sampling; stop them before
+	// measuring the goroutine envelope.
+	if err := svc.ShutdownJobs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Goroutine envelope: poll until the count settles back near the start.
+	// A modest slack absorbs the runtime's own background goroutines.
+	const slack = 12
+	deadline := time.Now().Add(30 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before+slack && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before+slack {
+		t.Errorf("goroutines grew from %d to %d; the envelope leaks", before, after)
+	}
+
+	// The registry survived the load: /metrics still parses and carries the
+	// shed counters the burst produced.
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.Lint(strings.NewReader(string(body))); err != nil {
+		t.Errorf("post-soak exposition invalid: %v", err)
+	}
+	if !strings.Contains(string(body), "dftsp_http_shed_total") {
+		t.Error("post-soak /metrics missing the shed counter family")
+	}
+}

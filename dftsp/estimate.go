@@ -252,6 +252,11 @@ type EstimateResult struct {
 	// Points is the evaluated curve, one entry per requested rate.
 	Points []RatePoint `json:"points"`
 
+	// Engine names the Monte-Carlo engine that actually sampled ("scalar"
+	// or "batch" — the resolved engine, never "auto"); empty when no point
+	// was sampled.
+	Engine string `json:"engine,omitempty"`
+
 	// MCSeconds is the wall time spent in direct Monte-Carlo sampling
 	// alone — excluding synthesis, compilation and the stratified fault
 	// enumeration — so throughput accounting (Service shots_per_sec)
@@ -390,6 +395,7 @@ func (p *Protocol) Estimate(ctx context.Context, eo EstimateOptions) (EstimateRe
 			pt.Method = ar.Method.String()
 			pt.EffSamples = ar.EffectiveSamples
 			pt.WeightVar = ar.WeightVariance
+			res.Engine = est.EngineInUse().String()
 		}
 		res.Points = append(res.Points, pt)
 	}

@@ -74,12 +74,19 @@ func (s *Service) AttachJobs(dir, remoteAddr string) error {
 	if err != nil {
 		return err
 	}
+	r := jobs.NewRunner(st, s.resolveEstimator, s.workers, remoteAddr)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.jobRunner != nil {
-		return fmt.Errorf("dftsp: service already has a job store attached (%s)", s.jobRunner.Store().Dir())
+		dir := s.jobRunner.Store().Dir()
+		s.mu.Unlock()
+		r.Close(context.Background())
+		return fmt.Errorf("dftsp: service already has a job store attached (%s)", dir)
 	}
-	s.jobRunner = jobs.NewRunner(st, s.resolveEstimator, s.workers, remoteAddr)
+	s.jobRunner = r
+	s.mu.Unlock()
+	// Outside s.mu: registration takes the registry lock, and no job can be
+	// running yet — the runner was created in this call.
+	r.Instrument(s.reg)
 	return nil
 }
 
@@ -122,14 +129,10 @@ func (s *Service) resolveEstimator(ctx context.Context, key string) (*sim.Estima
 	}
 	if st != nil {
 		if p, ok := s.loadStored(st, key); ok {
-			s.mu.Lock()
-			s.diskHits++
-			s.mu.Unlock()
+			s.diskHits.Inc()
 			return sim.NewEstimator(p.Core), nil
 		}
-		s.mu.Lock()
-		s.diskMisses++
-		s.mu.Unlock()
+		s.diskMisses.Inc()
 	}
 	return nil, fmt.Errorf("protocol %s is not available (synthesize it first, or attach its store)", key)
 }

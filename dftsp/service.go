@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/jobs"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Service is the long-running core of a synthesis server: it memoizes
@@ -21,6 +23,10 @@ import (
 // disk so they survive restarts; WarmStart preloads the store into memory
 // at boot.
 //
+// All operational counters live on a telemetry.Registry (Metrics): the
+// server scrapes it at /metrics and Stats derives its JSON snapshot from
+// the very same metric values, so the two surfaces can never disagree.
+//
 // Cancellation semantics: every request carries a context. A request that
 // joins an in-flight synthesis and then abandons it (context cancelled)
 // returns immediately without killing the synthesis other waiters still
@@ -28,29 +34,32 @@ import (
 // underlying SAT work cancelled and the slot cleared.
 type Service struct {
 	workers int // per-job Monte-Carlo worker count
+	reg     *telemetry.Registry
 
 	mu        sync.Mutex
 	entries   map[string]*cacheEntry
-	store     *store.Store // nil: memory-only
-	jobRunner *jobs.Runner // nil: no job store attached (AttachJobs)
-	hits      uint64
-	misses    uint64
-	coalesced uint64
-	failed    uint64
+	store     store.Catalog // nil: memory-only
+	jobRunner *jobs.Runner  // nil: no job store attached (AttachJobs)
 
-	// Store counters, all zero while no store is attached.
-	diskHits      uint64
-	diskMisses    uint64
-	storeWrites   uint64
-	writeFailures uint64
-	preloaded     uint64
+	// shotsPerSec is an exponentially weighted moving average of per-job
+	// sampling throughput; as a derived float it stays under mu and is
+	// exported through a gauge function rather than a counter.
+	shotsPerSec float64
 
-	// Estimation throughput: cumulative Monte-Carlo shots served and an
-	// exponentially weighted moving average of per-job shots/sec, so
-	// operators can watch sampling throughput on /stats without scraping
-	// benchmarks.
-	shotsSampled uint64
-	shotsPerSec  float64
+	// Registry-backed counters — the single source of truth behind both
+	// Stats and the /metrics exposition.
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	coalesced     *telemetry.Counter
+	failed        *telemetry.Counter
+	diskHits      *telemetry.Counter
+	diskMisses    *telemetry.Counter
+	storeWrites   *telemetry.Counter
+	writeFailures *telemetry.Counter
+	preloaded     *telemetry.Counter
+	shotsSampled  *telemetry.CounterVec // labels: engine, method
+	synthSeconds  *telemetry.Histogram
+	estSeconds    *telemetry.Histogram
 
 	estSem   chan struct{} // bounds concurrent estimation jobs
 	batchSem chan struct{} // bounds concurrent batch synthesis items
@@ -110,13 +119,62 @@ func NewService(workers int) *Service {
 	if jobs < 1 {
 		jobs = 1
 	}
-	return &Service{
+	s := &Service{
 		workers:  workers,
+		reg:      telemetry.New(),
 		entries:  map[string]*cacheEntry{},
 		estSem:   make(chan struct{}, jobs),
 		batchSem: make(chan struct{}, runtime.NumCPU()),
 	}
+	r := s.reg
+	s.hits = r.Counter("dftsp_service_cache_hits_total",
+		"Requests served from a completed in-memory cache entry.")
+	s.misses = r.Counter("dftsp_service_cache_misses_total",
+		"Requests that ran a SAT synthesis.")
+	s.coalesced = r.Counter("dftsp_service_coalesced_total",
+		"Requests that joined an in-flight synthesis instead of starting one.")
+	s.failed = r.Counter("dftsp_service_failed_total",
+		"Requests whose synthesis (own or awaited) failed.")
+	s.diskHits = r.Counter("dftsp_service_disk_hits_total",
+		"Requests served by decoding a stored protocol.")
+	s.diskMisses = r.Counter("dftsp_service_disk_misses_total",
+		"Store probes that found no usable entry.")
+	s.storeWrites = r.Counter("dftsp_service_store_writes_total",
+		"Protocols persisted to the store after synthesis.")
+	s.writeFailures = r.Counter("dftsp_service_store_write_failures_total",
+		"Persist attempts that failed; the request was still served.")
+	s.preloaded = r.Counter("dftsp_service_preloaded_total",
+		"Protocols loaded into memory by WarmStart.")
+	s.shotsSampled = r.CounterVec("dftsp_service_shots_sampled_total",
+		"Monte-Carlo shots executed by estimation requests.", "engine", "method")
+	s.synthSeconds = r.Histogram("dftsp_synthesize_seconds",
+		"Wall time of SAT protocol syntheses.", telemetry.LatencyBuckets)
+	s.estSeconds = r.Histogram("dftsp_estimate_seconds",
+		"Wall time of estimation requests, queueing for a pool slot included.",
+		telemetry.LatencyBuckets)
+	r.Gauge("dftsp_service_workers",
+		"Monte-Carlo workers per estimation job.").Set(float64(workers))
+	r.GaugeFunc("dftsp_service_cache_entries",
+		"Protocols currently cached in memory (completed or in flight).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.entries))
+		})
+	r.GaugeFunc("dftsp_service_shots_per_sec",
+		"EWMA (alpha 0.3) of per-job Monte-Carlo sampling throughput.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.shotsPerSec
+		})
+	return s
 }
+
+// Metrics returns the service's telemetry registry, the single source of
+// truth for every counter behind Stats. Servers expose it at /metrics and
+// may register their own families (HTTP, admission control) on it.
+func (s *Service) Metrics() *telemetry.Registry { return s.reg }
 
 // Protocol returns the synthesized protocol for opts, serving it from the
 // in-memory cache — or, with a store attached, from disk — when an
@@ -143,13 +201,13 @@ func (s *Service) Protocol(ctx context.Context, opts Options) (*Protocol, bool, 
 			// Completed entry: a plain cache hit. Failed entries are
 			// removed under mu before ready observers can see them here,
 			// so a completed entry always holds a protocol.
-			s.hits++
+			s.hits.Inc()
 			s.mu.Unlock()
 			return e.p, true, e.err
 		default:
 		}
 		e.waiters++
-		s.coalesced++
+		s.coalesced.Inc()
 		s.mu.Unlock()
 		return s.await(ctx, key, e, true)
 	}
@@ -179,11 +237,10 @@ func (s *Service) fill(synthCtx context.Context, key string, e *cacheEntry, opts
 		return
 	}
 
-	s.mu.Lock()
-	s.misses++
-	s.mu.Unlock()
+	s.misses.Inc()
 	var p *Protocol
 	var err error
+	start := time.Now()
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -192,10 +249,13 @@ func (s *Service) fill(synthCtx context.Context, key string, e *cacheEntry, opts
 		}()
 		p, err = Synthesize(synthCtx, opts)
 	}()
-	if st != nil && err == nil && p != nil {
+	s.synthSeconds.Observe(time.Since(start).Seconds())
+	if st != nil && err == nil && p != nil && !st.ReadOnly() {
 		// Persist before publishing so that by the time any request has
 		// been answered the protocol is durable (and the stats already
 		// reflect the write) — writes are small compared to SAT solving.
+		// A read-only catalog skips the write-back entirely: it would only
+		// fail, and the failure counter is for real persistence problems.
 		s.writeBack(st, key, p)
 	}
 	s.mu.Lock()
@@ -225,7 +285,7 @@ func (s *Service) await(ctx context.Context, key string, e *cacheEntry, hit bool
 		s.mu.Lock()
 		e.waiters--
 		if e.err != nil {
-			s.failed++
+			s.failed.Inc()
 		}
 		hit = hit || e.fromDisk
 		s.mu.Unlock()
@@ -275,6 +335,7 @@ func (s *Service) EstimateProtocol(ctx context.Context, p *Protocol, eo Estimate
 	if eo.Workers <= 0 || eo.Workers > s.workers {
 		eo.Workers = s.workers
 	}
+	start := time.Now()
 	select {
 	case s.estSem <- struct{}{}:
 	case <-ctx.Done():
@@ -283,9 +344,14 @@ func (s *Service) EstimateProtocol(ctx context.Context, p *Protocol, eo Estimate
 	defer func() { <-s.estSem }()
 	res, err := p.Estimate(ctx, eo)
 	if err == nil {
+		s.estSeconds.Observe(time.Since(start).Seconds())
 		shots := 0
 		for _, pt := range res.Points {
+			if pt.Shots == 0 {
+				continue
+			}
 			shots += pt.Shots
+			s.shotsSampled.With(res.Engine, pt.Method).Add(uint64(pt.Shots))
 		}
 		if shots > 0 {
 			// MCSeconds covers the sampling loops alone, so the EWMA
@@ -298,7 +364,8 @@ func (s *Service) EstimateProtocol(ctx context.Context, p *Protocol, eo Estimate
 }
 
 // recordThroughput folds one estimation job's Monte-Carlo volume into the
-// service's cumulative shot counter and throughput EWMA.
+// service's throughput EWMA. (The cumulative shot counter lives on the
+// registry and is incremented per point, with engine/method labels.)
 func (s *Service) recordThroughput(shots int, elapsed float64) {
 	if elapsed <= 0 {
 		return
@@ -306,7 +373,6 @@ func (s *Service) recordThroughput(shots int, elapsed float64) {
 	rate := float64(shots) / elapsed
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.shotsSampled += uint64(shots)
 	if s.shotsPerSec == 0 {
 		s.shotsPerSec = rate
 	} else {
@@ -315,23 +381,27 @@ func (s *Service) recordThroughput(shots int, elapsed float64) {
 	}
 }
 
-// Stats returns a snapshot of the cache and store counters.
+// Stats returns a snapshot of the cache and store counters. Every value is
+// read from the telemetry registry (or derived state guarded by the service
+// mutex), so /stats and /metrics can never drift apart.
 func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	entries := len(s.entries)
+	perSec := s.shotsPerSec
+	s.mu.Unlock()
 	return ServiceStats{
-		Entries:       len(s.entries),
-		Hits:          s.hits,
-		Misses:        s.misses,
-		Coalesced:     s.coalesced,
-		Failed:        s.failed,
+		Entries:       entries,
+		Hits:          s.hits.Value(),
+		Misses:        s.misses.Value(),
+		Coalesced:     s.coalesced.Value(),
+		Failed:        s.failed.Value(),
 		Workers:       s.workers,
-		DiskHits:      s.diskHits,
-		DiskMisses:    s.diskMisses,
-		StoreWrites:   s.storeWrites,
-		WriteFailures: s.writeFailures,
-		Preloaded:     s.preloaded,
-		ShotsSampled:  s.shotsSampled,
-		ShotsPerSec:   s.shotsPerSec,
+		DiskHits:      s.diskHits.Value(),
+		DiskMisses:    s.diskMisses.Value(),
+		StoreWrites:   s.storeWrites.Value(),
+		WriteFailures: s.writeFailures.Value(),
+		Preloaded:     s.preloaded.Value(),
+		ShotsSampled:  s.shotsSampled.Total(),
+		ShotsPerSec:   perSec,
 	}
 }

@@ -22,16 +22,57 @@ import (
 // (DiskMisses, StoreWriteFailures), because persistence is an optimization,
 // not a correctness requirement.
 func (s *Service) AttachStore(dir string) error {
-	st, err := store.Open(dir)
-	if err != nil {
-		return err
+	return s.AttachStoreTiers(dir)
+}
+
+// AttachStoreTiers layers the service over a writable overlay store (opened
+// and created at writableDir, or absent when writableDir is "") stacked on
+// any number of read-only catalogs, probed in the given order. With no
+// read-only tiers this is AttachStore; with tiers, reads fall through
+// overlay → catalogs → SAT solve while writes only ever land in the
+// overlay. A service attached to read-only tiers alone serves its catalogs
+// with zero store writes: synthesis write-backs are skipped, not failed.
+//
+// The catalog's read/write/corrupt counters are registered on the
+// service's telemetry registry, labeled by tier.
+func (s *Service) AttachStoreTiers(writableDir string, roDirs ...string) error {
+	var overlay *store.Store
+	if writableDir != "" {
+		var err error
+		if overlay, err = store.Open(writableDir); err != nil {
+			return err
+		}
 	}
+	var tiers []*store.Store
+	for _, dir := range roDirs {
+		t, err := store.OpenReadOnly(dir)
+		if err != nil {
+			return err
+		}
+		tiers = append(tiers, t)
+	}
+
+	var st store.Catalog
+	switch {
+	case overlay != nil && len(tiers) == 0:
+		st = overlay // the plain single-store layout AttachStore always had
+	default:
+		tc, err := store.NewTiered(overlay, tiers...)
+		if err != nil {
+			return err
+		}
+		st = tc
+	}
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.store != nil {
-		return fmt.Errorf("dftsp: service already has a store attached (%s)", s.store.Dir())
+		dir := s.store.Dir()
+		s.mu.Unlock()
+		return fmt.Errorf("dftsp: service already has a store attached (%s)", dir)
 	}
 	s.store = st
+	s.mu.Unlock()
+	st.Instrument(s.reg)
 	return nil
 }
 
@@ -86,8 +127,8 @@ func (s *Service) WarmStart(ctx context.Context) (loaded, skipped int, err error
 			continue // a request beat us to it; keep its entry
 		}
 		s.entries[entry.Key] = e
-		s.preloaded++
 		s.mu.Unlock()
+		s.preloaded.Inc()
 		loaded++
 	}
 	return loaded, skipped, nil
@@ -96,7 +137,7 @@ func (s *Service) WarmStart(ctx context.Context) (loaded, skipped int, err error
 // loadStored reads one store entry and reconstructs the public Protocol,
 // validating that the recorded options still canonicalize to the entry's
 // key. It reports ok = false for any unusable entry.
-func (s *Service) loadStored(st *store.Store, key string) (*Protocol, bool) {
+func (s *Service) loadStored(st store.Catalog, key string) (*Protocol, bool) {
 	cp, meta, err := st.Get(key)
 	if err != nil {
 		return nil, false
@@ -122,33 +163,31 @@ func (s *Service) loadStored(st *store.Store, key string) (*Protocol, bool) {
 
 // fillFromStore attempts to serve an in-flight cache entry from the store.
 // It returns true when the entry was published from disk.
-func (s *Service) fillFromStore(st *store.Store, key string, e *cacheEntry) bool {
+func (s *Service) fillFromStore(st store.Catalog, key string, e *cacheEntry) bool {
 	p, ok := s.loadStored(st, key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !ok {
-		s.diskMisses++
+		s.diskMisses.Inc()
 		return false
 	}
-	s.diskHits++
+	s.diskHits.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	e.p, e.fromDisk = p, true
 	close(e.ready)
 	return true
 }
 
 // writeBack persists a freshly synthesized protocol, counting the outcome.
-func (s *Service) writeBack(st *store.Store, key string, p *Protocol) {
+func (s *Service) writeBack(st store.Catalog, key string, p *Protocol) {
 	optsJSON, err := json.Marshal(p.Options)
 	if err == nil {
 		err = st.Put(store.Meta{Key: key, Options: optsJSON}, p.Core)
 	}
-	s.mu.Lock()
 	if err != nil {
-		s.writeFailures++
+		s.writeFailures.Inc()
 	} else {
-		s.storeWrites++
+		s.storeWrites.Inc()
 	}
-	s.mu.Unlock()
 }
 
 // ProtocolInfo identifies one protocol known to a service, in memory, on

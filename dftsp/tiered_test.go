@@ -1,0 +1,225 @@
+package dftsp
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// countFiles counts the store entries (*.dfp) in dir.
+func countFiles(t *testing.T, dir string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".dfp") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestConcurrentWarmStartRacesLiveFills drives the memory→disk→SAT layering
+// through its worst case under -race: several WarmStarts preloading the
+// store while live requests fill the same keys from disk and a fresh key
+// synthesizes and writes back concurrently. Whatever interleaving wins, a
+// protocol must be published exactly once per key (pointer-identical across
+// every requester) and the store-write counter must record exactly the one
+// synthesis.
+func TestConcurrentWarmStartRacesLiveFills(t *testing.T) {
+	dir := t.TempDir()
+	stored := []Options{{Code: "Steane"}, {Code: "Shor"}}
+	fresh := Options{Code: "Steane", FlagAll: true} // distinct key, not in the store
+
+	seed := NewService(2)
+	if err := seed.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range stored {
+		if _, _, err := seed.Protocol(bg, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewService(2)
+	if err := s.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	const warmers, requesters = 4, 8
+	var wg sync.WaitGroup
+	results := make([][]*Protocol, requesters)
+	for w := 0; w < warmers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.WarmStart(bg); err != nil {
+				t.Errorf("WarmStart: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < requesters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, opts := range []Options{stored[0], stored[1], fresh} {
+				p, _, err := s.Protocol(bg, opts)
+				if err != nil {
+					t.Errorf("Protocol(%+v): %v", opts, err)
+					return
+				}
+				results[i] = append(results[i], p)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// One published protocol per key: every requester got the same pointer.
+	for i := 1; i < requesters; i++ {
+		for j := range results[0] {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("requester %d got a different protocol instance for key %d", i, j)
+			}
+		}
+	}
+
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (only the fresh key synthesizes)", st.Misses)
+	}
+	if st.StoreWrites != 1 || st.WriteFailures != 0 {
+		t.Errorf("StoreWrites = %d, WriteFailures = %d, want 1 and 0", st.StoreWrites, st.WriteFailures)
+	}
+	if st.Entries != 3 {
+		t.Errorf("Entries = %d, want 3", st.Entries)
+	}
+	// Each stored key was served from the disk layer exactly once — by a
+	// WarmStart preload or by a request's fill, never both.
+	if got := st.Preloaded + st.DiskHits; got != 2 {
+		t.Errorf("Preloaded (%d) + DiskHits (%d) = %d, want 2", st.Preloaded, st.DiskHits, got)
+	}
+	// And the registry agrees with the JSON snapshot, by construction.
+	var sb strings.Builder
+	if err := s.Metrics().Expose(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dftsp_service_store_writes_total 1") {
+		t.Errorf("registry disagrees with Stats:\n%s", sb.String())
+	}
+	if err := telemetry.Lint(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("metrics exposition invalid: %v", err)
+	}
+}
+
+// TestReadOnlyTierServesWithoutWrites is the service-level read-only-tier
+// acceptance: a service attached to a catalog it cannot write serves the
+// catalog's protocols with zero syntheses and zero store writes, and a key
+// missing from the catalog still synthesizes (in memory only).
+func TestReadOnlyTierServesWithoutWrites(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewService(2)
+	if err := seed.AttachStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := seed.Protocol(bg, Options{Code: "Steane"}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewService(2)
+	if err := s.AttachStoreTiers("", dir); err != nil {
+		t.Fatal(err)
+	}
+	if s.StoreDir() != dir {
+		t.Fatalf("StoreDir = %q, want %q", s.StoreDir(), dir)
+	}
+	loaded, skipped, err := s.WarmStart(bg)
+	if err != nil || loaded != 1 || skipped != 0 {
+		t.Fatalf("WarmStart = (%d, %d, %v), want (1, 0, nil)", loaded, skipped, err)
+	}
+	if _, hit, err := s.Protocol(bg, Options{Code: "Steane"}); err != nil || !hit {
+		t.Fatalf("catalog protocol: hit=%v err=%v", hit, err)
+	}
+
+	// A fresh key synthesizes but never writes: the read-only stack skips
+	// the write-back instead of counting a failure.
+	if _, hit, err := s.Protocol(bg, Options{Code: "Steane", FlagAll: true}); err != nil || hit {
+		t.Fatalf("fresh key: hit=%v err=%v", hit, err)
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (the fresh key only)", st.Misses)
+	}
+	if st.StoreWrites != 0 || st.WriteFailures != 0 {
+		t.Errorf("read-only stack wrote: StoreWrites=%d WriteFailures=%d", st.StoreWrites, st.WriteFailures)
+	}
+	if st.Preloaded != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// The catalog directory gained no files.
+	if n := countFiles(t, dir); n != 1 {
+		t.Errorf("catalog has %d entries, want 1", n)
+	}
+}
+
+// TestTieredOverlayCapturesNewSyntheses checks the writable-overlay stack:
+// catalog reads need no writes, fresh syntheses land in the overlay, and a
+// restart over the same pair serves both without solving.
+func TestTieredOverlayCapturesNewSyntheses(t *testing.T) {
+	catalog, overlay := t.TempDir(), t.TempDir()
+	seed := NewService(2)
+	if err := seed.AttachStore(catalog); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := seed.Protocol(bg, Options{Code: "Steane"}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewService(2)
+	if err := s.AttachStoreTiers(overlay, catalog); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := s.Protocol(bg, Options{Code: "Steane"}); err != nil || !hit {
+		t.Fatalf("catalog read: hit=%v err=%v", hit, err)
+	}
+	if _, _, err := s.Protocol(bg, Options{Code: "Shor"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.StoreWrites != 1 {
+		t.Fatalf("StoreWrites = %d, want 1", st.StoreWrites)
+	}
+	if n := countFiles(t, catalog); n != 1 {
+		t.Fatalf("catalog gained files: %d entries", n)
+	}
+	if n := countFiles(t, overlay); n != 1 {
+		t.Fatalf("overlay has %d entries, want 1", n)
+	}
+
+	// Restart: both protocols are served from the stack without solving.
+	s2 := NewService(2)
+	if err := s2.AttachStoreTiers(overlay, catalog); err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range []string{"Steane", "Shor"} {
+		if _, hit, err := s2.Protocol(bg, Options{Code: code}); err != nil || !hit {
+			t.Fatalf("%s after restart: hit=%v err=%v", code, hit, err)
+		}
+	}
+	if st := s2.Stats(); st.Misses != 0 || st.DiskHits != 2 {
+		t.Fatalf("restarted stats: %+v", st)
+	}
+
+	infos, err := s2.Protocols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("Protocols() = %d entries, want 2", len(infos))
+	}
+}

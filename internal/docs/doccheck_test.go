@@ -22,6 +22,7 @@ var checkedPackages = []string{
 	"../../dftsp",
 	"../../internal/store",
 	"../../internal/jobs",
+	"../../internal/telemetry",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

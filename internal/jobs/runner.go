@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -142,6 +143,7 @@ type Runner struct {
 
 	tasks   chan func()
 	quiesce chan struct{}
+	metrics runnerMetrics // zero value: uninstrumented, all no-ops
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -255,6 +257,7 @@ func (r *Runner) Submit(spec Spec) (Status, error) {
 	r.jobWG.Add(1)
 	r.mu.Unlock()
 
+	r.metrics.running.Add(1)
 	go r.run(ctx, j, lg, st)
 	return j.status(), nil
 }
@@ -360,6 +363,7 @@ func (r *Runner) ResumeAll() ([]Status, error) {
 			errs = append(errs, fmt.Errorf("resume %s: %w", e.ID, err))
 			continue
 		}
+		r.metrics.resumed.Inc()
 		out = append(out, status)
 	}
 	return out, errors.Join(errs...)
@@ -408,6 +412,7 @@ func (r *Runner) run(ctx context.Context, j *job, lg *Log, st State) {
 	defer r.jobWG.Done()
 	defer lg.Close()
 	defer j.cancel()
+	defer r.metrics.running.Add(-1)
 
 	err := r.execute(ctx, j, lg, &st)
 
@@ -540,10 +545,20 @@ func (r *Runner) execute(ctx context.Context, j *job, lg *Log, st *State) error 
 					}
 					results <- shardResult{shard: sh, counts: br.Counts()}
 				}
+				// The queue-depth gauge covers dispatch to start-of-run; the
+				// wrapped task decrements it and times the shard either way
+				// it executes (pool worker or the inline cancellation path).
+				r.metrics.queueDepth.Add(1)
+				timed := func() {
+					r.metrics.queueDepth.Add(-1)
+					start := time.Now()
+					task()
+					r.metrics.shardSeconds.Observe(time.Since(start).Seconds())
+				}
 				select {
-				case r.tasks <- task:
+				case r.tasks <- timed:
 				case <-ctx.Done():
-					task() // returns immediately with the context error
+					timed() // returns immediately with the context error
 				}
 			}
 
@@ -565,6 +580,7 @@ func (r *Runner) execute(ctx context.Context, j *job, lg *Log, st *State) error 
 					}
 					continue
 				}
+				r.metrics.shards.Inc()
 				st.Shards[ShardKey{Point: i, Round: round, Shard: res.shard}] = res.counts
 				parts = append(parts, res.counts)
 				ps.Counts = sim.PoolCounts(parts...)

@@ -44,6 +44,10 @@ var (
 	// ErrVersion reports an entry written with an incompatible schema
 	// version.
 	ErrVersion = errors.New("store: unsupported schema version")
+
+	// ErrReadOnly reports a write attempted against a read-only catalog
+	// (a store opened with OpenReadOnly, or a Tiered with no overlay).
+	ErrReadOnly = errors.New("store: catalog is read-only")
 )
 
 // fileExt is the extension of every store entry; everything else in the
@@ -71,7 +75,9 @@ type Entry struct {
 // concurrent use: state lives in the filesystem and writes are atomic
 // renames.
 type Store struct {
-	dir string
+	dir      string
+	readonly bool
+	metrics  storeMetrics
 }
 
 // Open returns a store backed by dir, creating the directory (and parents)
@@ -86,8 +92,38 @@ func Open(dir string) (*Store, error) {
 	return &Store{dir: dir}, nil
 }
 
+// OpenReadOnly returns a store over an existing directory that will never
+// be written: Put fails with ErrReadOnly and nothing is created on disk.
+// Unlike Open, the directory must already exist — a read-only catalog that
+// is not there is a deployment error, not something to silently create
+// empty.
+func OpenReadOnly(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read-only catalog: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("store: read-only catalog %s is not a directory", dir)
+	}
+	return &Store{dir: dir, readonly: true}, nil
+}
+
 // Dir returns the directory backing the store.
 func (s *Store) Dir() string { return s.dir }
+
+// ReadOnly reports whether the store rejects writes.
+func (s *Store) ReadOnly() bool { return s.readonly }
+
+// tier names the store's role in telemetry labels.
+func (s *Store) tier() string {
+	if s.readonly {
+		return "ro"
+	}
+	return "rw"
+}
 
 // Filename returns the file name (without directory) under which the
 // protocol for key is stored: the first 32 hex characters of SHA-256(key)
@@ -106,6 +142,9 @@ func (s *Store) path(key string) string {
 // overwriting any previous entry for the key. meta.Code and meta.Params are
 // derived from the protocol; callers only provide Key and Options.
 func (s *Store) Put(meta Meta, p *core.Protocol) error {
+	if s.readonly {
+		return fmt.Errorf("%w: %s", ErrReadOnly, s.dir)
+	}
 	if meta.Key == "" {
 		return fmt.Errorf("store: empty key")
 	}
@@ -132,6 +171,7 @@ func (s *Store) Put(meta Meta, p *core.Protocol) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	s.metrics.writes.Inc()
 	return nil
 }
 
@@ -149,11 +189,16 @@ func (s *Store) Get(key string) (*core.Protocol, Meta, error) {
 	}
 	p, meta, err := Decode(data)
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion) {
+			s.metrics.corrupt.Inc()
+		}
 		return nil, Meta{}, err
 	}
 	if meta.Key != key {
+		s.metrics.corrupt.Inc()
 		return nil, Meta{}, fmt.Errorf("%w: file is addressed by key %q, not %q", ErrCorrupt, meta.Key, key)
 	}
+	s.metrics.reads.Inc()
 	return p, meta, nil
 }
 

@@ -1,0 +1,252 @@
+package store_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+func TestOpenReadOnlyRequiresExistingDirAndRejectsWrites(t *testing.T) {
+	if _, err := store.OpenReadOnly(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("OpenReadOnly created or accepted a missing directory")
+	}
+
+	p := synthesize(t)
+	key, err := p.Options.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rw, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Put(store.Meta{Key: key}, p.Core); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := store.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.ReadOnly() {
+		t.Fatal("OpenReadOnly store does not report ReadOnly")
+	}
+	if err := ro.Put(store.Meta{Key: "other"}, p.Core); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("Put on read-only store = %v, want ErrReadOnly", err)
+	}
+	got, _, err := ro.Get(key)
+	if err != nil {
+		t.Fatalf("read-only Get: %v", err)
+	}
+	if got.String() != p.Core.String() {
+		t.Fatal("read-only Get returned a different protocol")
+	}
+}
+
+func TestTieredPrecedenceAndListMerge(t *testing.T) {
+	p := synthesize(t)
+	key, err := p.Options.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two read-only catalogs holding the same key (tier1 shadows tier2) and
+	// a distinct key only in tier2; the overlay starts empty.
+	mk := func(keys ...string) string {
+		dir := t.TempDir()
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := st.Put(store.Meta{Key: k}, p.Core); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	dir1 := mk(key, "shared")
+	dir2 := mk("shared", "only2")
+	tier1, err := store.OpenReadOnly(dir1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier2, err := store.OpenReadOnly(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc, err := store.NewTiered(overlay, tier1, tier2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.ReadOnly() {
+		t.Fatal("stack with overlay reports ReadOnly")
+	}
+	if tc.Dir() != overlay.Dir() {
+		t.Fatalf("Dir = %q, want overlay %q", tc.Dir(), overlay.Dir())
+	}
+
+	// Reads hit the tiers through the stack.
+	if _, meta, err := tc.Get("shared"); err != nil || meta.Key != "shared" {
+		t.Fatalf("Get(shared) = %v, %v", meta, err)
+	}
+	if _, _, err := tc.Get("only2"); err != nil {
+		t.Fatalf("Get(only2): %v", err)
+	}
+	if _, _, err := tc.Get("absent"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+
+	// Writes land in the overlay only.
+	if err := tc.Put(store.Meta{Key: "fresh"}, p.Core); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, _, err := overlay.Get("fresh"); err != nil {
+		t.Fatalf("overlay missing fresh write: %v", err)
+	}
+	if _, _, err := tier1.Get("fresh"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatal("write leaked into a read-only tier")
+	}
+
+	// List merges all layers without duplicating shadowed keys.
+	entries, err := tc.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]int{}
+	for _, e := range entries {
+		keys[e.Key]++
+	}
+	for _, want := range []string{key, "shared", "only2", "fresh"} {
+		if keys[want] != 1 {
+			t.Fatalf("List has %d entries for %q, want 1 (all: %v)", keys[want], want, keys)
+		}
+	}
+	if len(entries) != 4 {
+		t.Fatalf("List returned %d entries, want 4", len(entries))
+	}
+}
+
+func TestTieredWithoutOverlayIsReadOnly(t *testing.T) {
+	p := synthesize(t)
+	dir := t.TempDir()
+	rw, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Put(store.Meta{Key: "k"}, p.Core); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := store.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := store.NewTiered(nil, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.ReadOnly() {
+		t.Fatal("overlay-less stack not read-only")
+	}
+	if tc.Dir() != dir {
+		t.Fatalf("Dir = %q, want first tier %q", tc.Dir(), dir)
+	}
+	if err := tc.Put(store.Meta{Key: "x"}, p.Core); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("Put = %v, want ErrReadOnly", err)
+	}
+	if _, _, err := tc.Get("k"); err != nil {
+		t.Fatalf("Get through read-only stack: %v", err)
+	}
+
+	if _, err := store.NewTiered(nil); err == nil {
+		t.Fatal("empty stack accepted")
+	}
+	if _, err := store.NewTiered(ro); err == nil {
+		t.Fatal("read-only overlay accepted")
+	}
+}
+
+func TestTieredCorruptUpperTierFallsThrough(t *testing.T) {
+	p := synthesize(t)
+	key, err := p.Options.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy copy in the lower tier, truncated copy in the upper tier.
+	lowDir, highDir := t.TempDir(), t.TempDir()
+	for _, dir := range []string{lowDir, highDir} {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(store.Meta{Key: key}, p.Core); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(highDir, store.Filename(key))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	high, err := store.OpenReadOnly(highDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := store.OpenReadOnly(lowDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := store.NewTiered(nil, high, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	tc.Instrument(reg)
+
+	got, _, err := tc.Get(key)
+	if err != nil {
+		t.Fatalf("Get with corrupt upper tier: %v", err)
+	}
+	if got.String() != p.Core.String() {
+		t.Fatal("fell through to a different protocol")
+	}
+
+	// The corruption stays observable in the exposition.
+	var sb strings.Builder
+	if err := reg.Expose(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `dftsp_store_corrupt_total{tier="ro"} 1`) {
+		t.Errorf("corrupt counter not exported:\n%s", out)
+	}
+	if !strings.Contains(out, `dftsp_store_reads_total{tier="ro"} 1`) {
+		t.Errorf("read counter not exported:\n%s", out)
+	}
+
+	// A key that only exists corrupt surfaces the corruption error rather
+	// than ErrNotFound.
+	if err := os.Remove(filepath.Join(lowDir, store.Filename(key))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tc.Get(key); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("Get with only a corrupt copy = %v, want ErrCorrupt", err)
+	}
+}

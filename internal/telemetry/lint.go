@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lint reads a Prometheus text-format payload and reports the first
+// structural violation it finds: a malformed metric or label name, an
+// unparsable value, a sample whose family was declared with a mismatched
+// # TYPE, or a payload with no samples at all. It is a test-side validator
+// for what Expose (or any scrape target) emits, not a full parser — it
+// checks line shape, not metric semantics.
+func Lint(r io.Reader) error {
+	types := map[string]string{}
+	samples := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validName(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE line missing type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if prev, ok := types[fields[2]]; ok && prev != fields[3] {
+					return fmt.Errorf("line %d: metric %s re-typed %s -> %s", lineNo, fields[2], prev, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !validName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		if typ, ok := typeFor(types, name); ok {
+			if err := checkSuffix(typ, name); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+		value := strings.TrimSpace(rest)
+		// A trailing timestamp is legal; the value is the first field.
+		if i := strings.IndexByte(value, ' '); i >= 0 {
+			value = value[:i]
+		}
+		if _, err := parseValue(value); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q: %v", lineNo, value, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition payload")
+	}
+	return nil
+}
+
+// splitSample splits a sample line into its metric name (label block
+// validated and consumed) and the remainder holding value and optional
+// timestamp.
+func splitSample(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	rest = line[i:]
+	if rest[0] != '{' {
+		return name, rest, nil
+	}
+	// Walk the label block respecting quoted values.
+	j := 1
+	for j < len(rest) && rest[j] != '}' {
+		// label name
+		k := j
+		for k < len(rest) && rest[k] != '=' {
+			k++
+		}
+		if k >= len(rest) || !validName(strings.TrimSpace(rest[j:k])) {
+			return "", "", fmt.Errorf("malformed label block in %q", line)
+		}
+		k++ // consume '='
+		if k >= len(rest) || rest[k] != '"' {
+			return "", "", fmt.Errorf("unquoted label value in %q", line)
+		}
+		k++
+		for k < len(rest) && rest[k] != '"' {
+			if rest[k] == '\\' {
+				k++
+			}
+			k++
+		}
+		if k >= len(rest) {
+			return "", "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		k++ // consume closing quote
+		if k < len(rest) && rest[k] == ',' {
+			k++
+		}
+		j = k
+	}
+	if j >= len(rest) {
+		return "", "", fmt.Errorf("unterminated label block in %q", line)
+	}
+	return name, rest[j+1:], nil
+}
+
+// typeFor resolves a sample name to its declared family type, stripping
+// histogram/summary sample suffixes.
+func typeFor(types map[string]string, name string) (string, bool) {
+	if t, ok := types[name]; ok {
+		return t, ok
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t, found := types[base]; found {
+				return t, true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkSuffix rejects histogram component samples on non-histogram
+// families (a _bucket sample under a counter TYPE is a double-registration
+// smell).
+func checkSuffix(typ, name string) error {
+	if typ != "histogram" && typ != "summary" && strings.HasSuffix(name, "_bucket") {
+		return fmt.Errorf("sample %s has _bucket suffix but family is %s", name, typ)
+	}
+	return nil
+}
+
+// parseValue parses an exposition sample value, which permits +Inf, -Inf
+// and NaN spellings on top of Go float syntax.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN", "Nan", "nan":
+		return 0, nil
+	case "":
+		return 0, fmt.Errorf("empty value")
+	}
+	return strconv.ParseFloat(s, 64)
+}
