@@ -65,6 +65,14 @@
 //	GET  /jobs/{id}/events   NDJSON: one status line, then progress events
 //	POST /jobs/{id}/cancel   stop a running job, keeping its checkpoints
 //
+// With -workers-addr the server additionally listens for remote shard
+// workers (cmd/worker, see docs/shard-protocol.md): job shards are leased
+// to connected workers under TTL'd, generation-fenced leases while the
+// local pool races for the same shards, so N workers finish a job
+// bit-identical to one process and a dead worker's shard is re-leased
+// automatically. /readyz and /jobs/{id} report the connected-worker and
+// outstanding-lease counts.
+//
 // On SIGINT/SIGTERM the server flips /readyz to 503, checkpoints and
 // pauses running jobs (they resume on the next boot), then drains in-flight
 // requests.
@@ -149,7 +157,7 @@ func main() {
 		storeDir    = flag.String("store-dir", "", "persistent protocol store directory, preloaded at boot (empty: memory-only)")
 		storeRO     = flag.String("store-ro", "", "comma-separated read-only protocol catalogs, probed in order under the -store-dir overlay")
 		jobsDir     = flag.String("jobs-dir", "", "persistent estimation-job directory; enables the /jobs API (empty: disabled)")
-		workersAddr = flag.String("workers-addr", "", "remote worker replica address for job shards (reserved; no transport yet)")
+		workersAddr = flag.String("workers-addr", "", "listen address for remote shard workers (cmd/worker); job shards are leased to connected workers (empty: local pool only)")
 		rateLimit   = flag.Float64("rate-limit", 0, "per-client requests per second admitted (0: unlimited)")
 		rateBurst   = flag.Int("rate-burst", 0, "per-client token-bucket burst (0: 2x rate-limit, at least 1)")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent requests per work endpoint (0: unbounded)")
@@ -190,6 +198,9 @@ func main() {
 			log.Printf("dftsp server: resuming jobs: %v", err)
 		}
 		log.Printf("dftsp server resumed %d unfinished jobs from %s", len(resumed), *jobsDir)
+		if rs, ok := svc.JobRemote(); ok {
+			log.Printf("dftsp server leasing job shards to remote workers on %s", rs.Addr)
+		}
 	}
 	srv := newServer(svc, serverConfig{
 		timeout:     *timeout,
@@ -620,12 +631,21 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // probe: healthz answers "is the process alive", readyz answers "should a
 // load balancer route traffic here". It reports 503 while the server drains
 // for shutdown (liveness stays green so the orchestrator does not kill a
-// draining pod) and describes which persistence layers are attached.
+// draining pod) and describes which persistence layers are attached. With
+// remote shard dispatch enabled (-workers-addr) it additionally reports the
+// connected-worker and outstanding-lease counts, so an ordered drain can be
+// observed to quiesce leases before HTTP drain.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"ok":    s.ready.Load(),
 		"store": s.svc.StoreDir() != "",
 		"jobs":  s.svc.JobsDir() != "",
+	}
+	if rs, ok := s.svc.JobRemote(); ok {
+		resp["workers_addr"] = rs.Addr
+		resp["workers"] = rs.Workers
+		resp["leases"] = rs.Leases
+		resp["idle"] = rs.Idle
 	}
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, resp)

@@ -2,11 +2,13 @@ package dftsp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 
 	"repro/internal/jobs"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // The job layer's types, re-exported so API consumers (the HTTP server, the
@@ -66,8 +68,13 @@ var errNoJobs = errors.New("dftsp: no job store attached")
 // protocol entries (.dfp) coexist, and each layer's listing skips the
 // other's files.
 //
-// remoteAddr is the reserved hook for remote worker replicas (the server's
-// -workers-addr flag); empty disables it. Attach before serving requests;
+// remoteAddr is the listen address for remote worker replicas (the server's
+// -workers-addr flag): when non-empty the runner starts a shardrpc
+// coordinator there, and cmd/worker processes that connect lease job
+// shards, racing the local pool — with zero workers connected execution is
+// exactly the local-pool behavior. Workers resolve protocols through the
+// coordinator's protocol endpoint, backed by this service's cache and
+// store. Empty disables remote dispatch. Attach before serving requests;
 // the job store cannot be swapped or detached later.
 func (s *Service) AttachJobs(dir, remoteAddr string) error {
 	st, err := jobs.Open(dir)
@@ -75,6 +82,10 @@ func (s *Service) AttachJobs(dir, remoteAddr string) error {
 		return err
 	}
 	r := jobs.NewRunner(st, s.resolveEstimator, s.workers, remoteAddr)
+	if err := r.StartRemote(s.encodedProtocol); err != nil {
+		r.Close(context.Background())
+		return err
+	}
 	s.mu.Lock()
 	if s.jobRunner != nil {
 		dir := s.jobRunner.Store().Dir()
@@ -88,6 +99,56 @@ func (s *Service) AttachJobs(dir, remoteAddr string) error {
 	// running yet — the runner was created in this call.
 	r.Instrument(s.reg)
 	return nil
+}
+
+// JobRemoteStatus reports a runner's remote worker fleet; see
+// jobs.RemoteStatus.
+type JobRemoteStatus = jobs.RemoteStatus
+
+// JobRemote reports the remote shard-dispatch state — listener address,
+// connected workers, outstanding remote leases — and whether a workers
+// listener is active (AttachJobs with a non-empty remoteAddr).
+func (s *Service) JobRemote() (JobRemoteStatus, bool) {
+	r := s.runner()
+	if r == nil {
+		return JobRemoteStatus{}, false
+	}
+	return r.Remote()
+}
+
+// encodedProtocol serves the store encoding of a cached or stored protocol
+// by key — the coordinator's protocol endpoint for remote workers that
+// cannot resolve a key from a local catalog. It never triggers synthesis.
+func (s *Service) encodedProtocol(key string) ([]byte, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	st := s.store
+	s.mu.Unlock()
+	if ok {
+		select {
+		case <-e.ready:
+			if e.err == nil && e.p != nil {
+				optsJSON, err := json.Marshal(e.p.Options)
+				if err != nil {
+					return nil, err
+				}
+				return store.Encode(store.Meta{Key: key, Options: optsJSON}, e.p.Core)
+			}
+		default:
+			// In-flight synthesis: fall through to disk rather than block
+			// a worker's fetch on SAT work.
+		}
+	}
+	if st != nil {
+		if p, ok := s.loadStored(st, key); ok {
+			optsJSON, err := json.Marshal(p.Options)
+			if err != nil {
+				return nil, err
+			}
+			return store.Encode(store.Meta{Key: key, Options: optsJSON}, p.Core)
+		}
+	}
+	return nil, fmt.Errorf("protocol %s is not available", key)
 }
 
 // JobsDir returns the directory of the attached job store, or "" when no

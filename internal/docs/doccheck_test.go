@@ -23,6 +23,7 @@ var checkedPackages = []string{
 	"../../internal/store",
 	"../../internal/jobs",
 	"../../internal/telemetry",
+	"../../internal/shardrpc",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

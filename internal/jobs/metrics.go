@@ -36,4 +36,7 @@ func (r *Runner) Instrument(reg *telemetry.Registry) {
 			"Wall time of shard tasks, from dequeue to completion.",
 			telemetry.LatencyBuckets),
 	}
+	if r.remote != nil {
+		r.remote.Instrument(reg)
+	}
 }

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/shardrpc"
 	"repro/internal/sim"
 )
 
@@ -83,6 +86,11 @@ type Status struct {
 	// Shots is the total durable shot count across all points.
 	Shots int64 `json:"shots"`
 
+	// Remote reports the remote worker fleet when the runner has an active
+	// workers listener — connected workers and this job's outstanding
+	// leases; nil when remote dispatch is disabled.
+	Remote *RemoteStatus `json:"remote,omitempty"`
+
 	// Error carries the failure cause when State is failed.
 	Error string `json:"error,omitempty"`
 }
@@ -135,11 +143,15 @@ type Runner struct {
 	resolve Resolver
 	workers int
 
-	// remoteAddr is the reserved hook for remote worker replicas (the
-	// server's -workers-addr flag); the dispatcher is deliberately shaped
-	// so a remote replica is just another consumer of shard tasks, but no
-	// transport is implemented yet.
+	// remoteAddr is the listen address for remote worker replicas (the
+	// server's -workers-addr flag); StartRemote turns it into a live
+	// shardrpc coordinator whose remote workers and the local pool race
+	// for the same shard tasks. Empty disables remote dispatch entirely.
 	remoteAddr string
+	remote     *shardrpc.Coordinator
+	remoteLn   net.Listener
+	remoteSrv  *http.Server
+	claimWG    sync.WaitGroup
 
 	tasks   chan func()
 	quiesce chan struct{}
@@ -172,7 +184,8 @@ type job struct {
 
 // NewRunner returns a runner executing jobs from store with the given
 // local worker count (<= 0 selects sim.DefaultWorkers()). remoteAddr is
-// the reserved remote-replica hook; empty disables it.
+// the listen address for remote worker replicas — StartRemote activates
+// it; empty disables remote dispatch.
 func NewRunner(store *Store, resolve Resolver, workers int, remoteAddr string) *Runner {
 	if workers <= 0 {
 		workers = sim.DefaultWorkers()
@@ -269,7 +282,7 @@ func (r *Runner) Job(id string) (Status, error) {
 	j, ok := r.jobs[id]
 	r.mu.Unlock()
 	if ok {
-		return j.status(), nil
+		return r.annotate(j.status()), nil
 	}
 	st, err := r.store.Load(id)
 	if err != nil {
@@ -279,7 +292,7 @@ func (r *Runner) Job(id string) (Status, error) {
 	if st.Done {
 		state = StateDone
 	}
-	return statusFromState(st, state), nil
+	return r.annotate(statusFromState(st, state)), nil
 }
 
 // Jobs lists the status of every job the runner knows about: running jobs
@@ -372,6 +385,10 @@ func (r *Runner) ResumeAll() ([]Status, error) {
 // Close shuts the runner down gracefully: no new shards are dispatched,
 // in-flight shards run to completion and are checkpointed, coordinators
 // exit at the next checkpoint boundary leaving their jobs paused on disk.
+// A shard leased to a remote worker either completes in time or its lease
+// expires and the local pool finishes it — either way the round reaches
+// its boundary and the job quiesces resumable; the workers listener shuts
+// down only after every job has settled.
 // If ctx expires first, remaining jobs are cancelled hard — their in-flight
 // partial counts are discarded, which is always safe because only completed
 // shards are ever written. Close returns ctx.Err() in that case.
@@ -402,6 +419,12 @@ func (r *Runner) Close(ctx context.Context) error {
 		r.mu.Unlock()
 		<-done
 	}
+	// Jobs have settled; only now tear the remote layer down, so in-flight
+	// lease completions could land right up to the last round boundary.
+	// closeRemote settles every coordinator task, which releases the local
+	// claim goroutines the claimWG waits out before the queue closes.
+	r.closeRemote()
+	r.claimWG.Wait()
 	close(r.tasks)
 	r.workerWG.Wait()
 	return err
@@ -528,11 +551,10 @@ func (r *Runner) execute(ctx context.Context, j *job, lg *Log, st *State) error 
 				b0 := start + sh*ShardBlocks
 				b1 := min(b0+ShardBlocks, end)
 				sh := sh
-				task := func() {
+				run := func() (sim.Counts, error) {
 					br, err := est.NewBlockRunnerModel(method, model)
 					if err != nil {
-						results <- shardResult{shard: sh, err: err}
-						return
+						return sim.Counts{}, err
 					}
 					for b := b0; b < b1; b++ {
 						br.RunBlock(ctx, seed, b, min(sim.BlockShots, budget-b*sim.BlockShots))
@@ -540,10 +562,48 @@ func (r *Runner) execute(ctx context.Context, j *job, lg *Log, st *State) error 
 					if err := ctx.Err(); err != nil {
 						// A cancelled runner's counts are partial; they
 						// must never reach a checkpoint.
-						results <- shardResult{shard: sh, err: err}
-						return
+						return sim.Counts{}, err
 					}
-					results <- shardResult{shard: sh, counts: br.Counts()}
+					return br.Counts(), nil
+				}
+				deliver := func(counts sim.Counts, err error) {
+					results <- shardResult{shard: sh, counts: counts, err: err}
+				}
+
+				if r.remote != nil {
+					// Remote dispatch: offer the shard to the worker fleet
+					// and the local pool simultaneously; the coordinator
+					// guarantees exactly one delivery, fenced by lease
+					// generation. The task carries the resolved engine and
+					// method so a worker samples the identical stream.
+					desc := shardrpc.Task{
+						ID:          shardrpc.TaskID(j.id, i, round, sh),
+						Job:         j.id,
+						Point:       i,
+						Round:       round,
+						Shard:       sh,
+						ProtocolKey: spec.ProtocolKey,
+						Engine:      est.EngineInUse().String(),
+						Method:      method.String(),
+						Model:       model,
+						Seed:        seed,
+						Block0:      b0,
+						Block1:      b1,
+						Budget:      budget,
+					}
+					timedRun := func() (sim.Counts, error) {
+						start := time.Now()
+						counts, err := run()
+						r.metrics.shardSeconds.Observe(time.Since(start).Seconds())
+						return counts, err
+					}
+					r.remote.Offer(ctx, desc, timedRun, deliver)
+					continue
+				}
+
+				task := func() {
+					counts, err := run()
+					deliver(counts, err)
 				}
 				// The queue-depth gauge covers dispatch to start-of-run; the
 				// wrapped task decrements it and times the shard either way

@@ -1,0 +1,329 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Backoff defaults for transient transport errors: capped exponential with
+// full jitter on the upper half of each step.
+const (
+	// DefaultBackoffBase is the first retry delay.
+	DefaultBackoffBase = 100 * time.Millisecond
+
+	// DefaultBackoffMax caps the retry delay growth.
+	DefaultBackoffMax = 5 * time.Second
+
+	// clientAttempts bounds how many times one protocol call is retried
+	// before the transport error is reported to the caller.
+	clientAttempts = 8
+)
+
+// ClientConfig parameterizes a worker-side protocol client.
+type ClientConfig struct {
+	// BaseURL is the coordinator's address ("http://host:port" — a bare
+	// "host:port" gets the scheme prefixed).
+	BaseURL string
+
+	// Name is the worker's human-readable name, reported at registration
+	// and used as the coordinator's per-worker metric label.
+	Name string
+
+	// HTTP overrides the transport; nil selects a client with sane
+	// timeouts. Tests inject an httptest transport here.
+	HTTP *http.Client
+
+	// BackoffBase and BackoffMax tune the transient-error retry schedule;
+	// zero selects the defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Seed seeds the backoff jitter; zero derives one from the name so
+	// identically configured workers still jitter apart.
+	Seed int64
+}
+
+// Client is a worker's connection to a coordinator. It wraps every
+// protocol endpoint, retries transient transport errors with capped
+// exponential backoff + jitter, and transparently re-registers when the
+// coordinator no longer knows the worker (a pruned registration after a
+// long delay). Safe for concurrent use.
+type Client struct {
+	base string
+	name string
+	hc   *http.Client
+	b0   time.Duration
+	bmax time.Duration
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	workerID string
+	ttl      time.Duration
+}
+
+// NewClient returns a client for the coordinator at cfg.BaseURL. Call
+// Register before leasing.
+func NewClient(cfg ClientConfig) *Client {
+	base := cfg.BaseURL
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * maxLeaseWait}
+	}
+	b0, bmax := cfg.BackoffBase, cfg.BackoffMax
+	if b0 <= 0 {
+		b0 = DefaultBackoffBase
+	}
+	if bmax <= 0 {
+		bmax = DefaultBackoffMax
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		for _, r := range cfg.Name {
+			seed = seed*131 + int64(r)
+		}
+		seed += time.Now().UnixNano()
+	}
+	return &Client{
+		base: base,
+		name: cfg.Name,
+		hc:   hc,
+		b0:   b0,
+		bmax: bmax,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// WorkerID returns the coordinator-assigned worker ID (empty before
+// Register).
+func (c *Client) WorkerID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workerID
+}
+
+// TTL returns the lease TTL the coordinator announced at registration.
+func (c *Client) TTL() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ttl
+}
+
+// Register announces the worker to the coordinator and records the
+// assigned worker ID and lease TTL.
+func (c *Client) Register(ctx context.Context) error {
+	var resp registerResponse
+	if err := c.call(ctx, "register", registerRequest{Name: c.name}, &resp); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.workerID = resp.WorkerID
+	c.ttl = time.Duration(resp.TTLMs) * time.Millisecond
+	c.mu.Unlock()
+	return nil
+}
+
+// Lease asks for one task, long-polling up to wait on the coordinator
+// side. It returns (nil, nil) when no task was available. An unknown-worker
+// rejection re-registers once and retries.
+func (c *Client) Lease(ctx context.Context, wait time.Duration) (*Lease, error) {
+	for reregistered := false; ; {
+		var lease Lease
+		err := c.call(ctx, "lease", leaseRequest{WorkerID: c.WorkerID(), WaitMs: wait.Milliseconds()}, &lease)
+		switch {
+		case err == nil:
+			if lease.Task.ID == "" {
+				return nil, nil // 204: nothing to do
+			}
+			return &lease, nil
+		case isStatus(err, http.StatusNotFound) && !reregistered:
+			if rerr := c.Register(ctx); rerr != nil {
+				return nil, rerr
+			}
+			reregistered = true
+		default:
+			return nil, err
+		}
+	}
+}
+
+// Heartbeat renews a held lease. ErrLeaseLost means the lease expired —
+// the worker must abandon the shard.
+func (c *Client) Heartbeat(ctx context.Context, lease *Lease) error {
+	err := c.call(ctx, "heartbeat", heartbeatRequest{
+		WorkerID: c.WorkerID(), TaskID: lease.Task.ID, Gen: lease.Gen,
+	}, &struct{}{})
+	if isStatus(err, http.StatusGone) {
+		return ErrLeaseLost
+	}
+	return err
+}
+
+// Complete reports a finished shard's counts. It returns duplicate = true
+// when the coordinator had already accepted this lease's completion (a
+// retried delivery; the counts were counted exactly once). Stale and
+// garbage rejections come back as ErrStaleCompletion and
+// ErrGarbageCompletion.
+func (c *Client) Complete(ctx context.Context, lease *Lease, counts sim.Counts) (bool, error) {
+	var resp completeResponse
+	err := c.call(ctx, "complete", completeRequest{
+		WorkerID: c.WorkerID(), TaskID: lease.Task.ID, Gen: lease.Gen, Counts: counts,
+	}, &resp)
+	switch {
+	case err == nil:
+		return resp.Duplicate, nil
+	case isStatus(err, http.StatusConflict):
+		return false, fmt.Errorf("%w: %v", ErrStaleCompletion, err)
+	case isStatus(err, http.StatusUnprocessableEntity):
+		return false, fmt.Errorf("%w: %v", ErrGarbageCompletion, err)
+	}
+	return false, err
+}
+
+// Deregister removes the worker from the coordinator's registry.
+func (c *Client) Deregister(ctx context.Context) error {
+	return c.call(ctx, "deregister", deregisterRequest{WorkerID: c.WorkerID()}, &struct{}{})
+}
+
+// Protocol fetches the store encoding of a protocol by key.
+func (c *Client) Protocol(ctx context.Context, key string) ([]byte, error) {
+	var data []byte
+	err := c.retry(ctx, func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathPrefix+"protocol/"+key, nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, statusError{code: resp.StatusCode, body: strings.TrimSpace(string(body))}
+		}
+		data = body
+		return resp.StatusCode, nil
+	})
+	return data, err
+}
+
+// statusError is a non-2xx protocol response.
+type statusError struct {
+	code int
+	body string
+}
+
+// Error renders the failing status and the coordinator's error body.
+func (e statusError) Error() string {
+	return fmt.Sprintf("shardrpc: coordinator returned %d: %s", e.code, e.body)
+}
+
+// isStatus reports whether err is (or wraps) a statusError with the given
+// code.
+func isStatus(err error, code int) bool {
+	var se statusError
+	return err != nil && errors.As(err, &se) && se.code == code
+}
+
+// call POSTs a JSON request to the named endpoint, decodes a 200 body into
+// out, and retries transient failures. A 204 returns nil with out
+// untouched.
+func (c *Client) call(ctx context.Context, endpoint string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.retry(ctx, func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathPrefix+endpoint, bytes.NewReader(payload))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusNoContent:
+			return resp.StatusCode, nil
+		case resp.StatusCode != http.StatusOK:
+			msg := strings.TrimSpace(string(body))
+			var er errorResponse
+			if json.Unmarshal(body, &er) == nil && er.Error != "" {
+				msg = er.Error
+			}
+			return resp.StatusCode, statusError{code: resp.StatusCode, body: msg}
+		}
+		return resp.StatusCode, json.Unmarshal(body, out)
+	})
+}
+
+// retry runs fn with capped exponential backoff + jitter on transient
+// failures: transport errors and 5xx statuses. Definitive protocol answers
+// (2xx and 4xx fencing rejections) return immediately.
+func (c *Client) retry(ctx context.Context, fn func() (int, error)) error {
+	var last error
+	for attempt := 0; attempt < clientAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		code, err := fn()
+		if err == nil {
+			return nil
+		}
+		last = err
+		transient := code == 0 || code >= 500
+		if !transient || ctx.Err() != nil {
+			return err
+		}
+		d := c.backoff(attempt)
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return last
+		}
+	}
+	return last
+}
+
+// backoff computes the attempt'th retry delay: base·2^attempt capped at
+// the max, with the upper half jittered so a fleet of retrying workers
+// spreads out.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.b0 << uint(attempt)
+	if d > c.bmax || d <= 0 {
+		d = c.bmax
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	return jittered
+}

@@ -1,0 +1,226 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// testClient wires a client to a coordinator through a real HTTP server
+// with a tiny backoff schedule.
+func testClient(t *testing.T, c *Coordinator, name string) *Client {
+	t.Helper()
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(ClientConfig{
+		BaseURL:     srv.URL,
+		Name:        name,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		Seed:        1,
+	})
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute, Protocol: func(key string) ([]byte, error) {
+		return []byte("proto:" + key), nil
+	}})
+	defer c.Close()
+	cl := testClient(t, c, "e2e")
+	ctx := context.Background()
+
+	if err := cl.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cl.WorkerID() == "" || cl.TTL() != time.Minute {
+		t.Fatalf("registered as %q ttl %v", cl.WorkerID(), cl.TTL())
+	}
+
+	// No work yet: a zero-wait lease comes back empty over the wire (204).
+	if lease, err := cl.Lease(ctx, 0); err != nil || lease != nil {
+		t.Fatalf("empty lease = %+v, %v", lease, err)
+	}
+
+	ch := offer(c, testTask("t1"))
+	lease, err := cl.Lease(ctx, time.Second)
+	if err != nil || lease == nil {
+		t.Fatalf("lease: %+v, %v", lease, err)
+	}
+	if !reflect.DeepEqual(lease.Task, testTask("t1")) {
+		t.Fatalf("task over the wire = %+v", lease.Task)
+	}
+	if err := cl.Heartbeat(ctx, lease); err != nil {
+		t.Fatal(err)
+	}
+	if dup, err := cl.Complete(ctx, lease, goodCounts(3)); err != nil || dup {
+		t.Fatalf("complete: dup=%v err=%v", dup, err)
+	}
+	expectDelivered(t, ch, goodCounts(3))
+	// Retried completion: idempotent duplicate.
+	if dup, err := cl.Complete(ctx, lease, goodCounts(3)); err != nil || !dup {
+		t.Fatalf("duplicate complete: dup=%v err=%v", dup, err)
+	}
+
+	data, err := cl.Protocol(ctx, "steane-key")
+	if err != nil || string(data) != "proto:steane-key" {
+		t.Fatalf("protocol fetch = %q, %v", data, err)
+	}
+	if err := cl.Deregister(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := c.Stats(); w != 0 {
+		t.Fatalf("workers after deregister = %d", w)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute})
+	defer c.Close()
+	cl := testClient(t, c, "map")
+	ctx := context.Background()
+	if err := cl.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heartbeat for a lease we never held → 410 → ErrLeaseLost.
+	bogus := &Lease{Task: testTask("nope"), Gen: 7}
+	if err := cl.Heartbeat(ctx, bogus); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	// Completion for an unknown task → 409 → ErrStaleCompletion.
+	if _, err := cl.Complete(ctx, bogus, goodCounts(0)); !errors.Is(err, ErrStaleCompletion) {
+		t.Fatalf("stale complete: %v", err)
+	}
+	// Garbage counts for a real lease → 422 → ErrGarbageCompletion.
+	ch := offer(c, testTask("t1"))
+	lease, err := cl.Lease(ctx, time.Second)
+	if err != nil || lease == nil {
+		t.Fatalf("lease: %+v, %v", lease, err)
+	}
+	if _, err := cl.Complete(ctx, lease, sim.Counts{Shots: 1}); !errors.Is(err, ErrGarbageCompletion) {
+		t.Fatalf("garbage complete: %v", err)
+	}
+	expectNone(t, ch)
+}
+
+func TestClientRetriesTransientErrors(t *testing.T) {
+	// A flaky front: the first two attempts of every call fail with 503
+	// before reaching the coordinator; the client's capped backoff retries
+	// through.
+	c := NewCoordinator(Config{TTL: time.Minute})
+	defer c.Close()
+	inner := c.Handler()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%3 != 0 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	cl := NewClient(ClientConfig{
+		BaseURL: srv.URL, Name: "flaky",
+		BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond, Seed: 1,
+	})
+	ctx := context.Background()
+	if err := cl.Register(ctx); err != nil {
+		t.Fatalf("register through flaky front: %v", err)
+	}
+	if calls.Load() < 3 {
+		t.Fatalf("calls = %d, want the retried attempts", calls.Load())
+	}
+	ch := offer(c, testTask("t1"))
+	lease, err := cl.Lease(ctx, time.Second)
+	if err != nil || lease == nil {
+		t.Fatalf("lease through flaky front: %+v, %v", lease, err)
+	}
+	if dup, err := cl.Complete(ctx, lease, goodCounts(1)); err != nil || dup {
+		t.Fatalf("complete through flaky front: dup=%v err=%v", dup, err)
+	}
+	expectDelivered(t, ch, goodCounts(1))
+}
+
+func TestClientReregistersAfterPrune(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute})
+	defer c.Close()
+	cl := testClient(t, c, "pruned")
+	ctx := context.Background()
+	if err := cl.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator forgets the worker (liveness prune after a long
+	// stall); the next lease re-registers transparently.
+	c.Deregister(cl.WorkerID())
+	old := cl.WorkerID()
+	ch := offer(c, testTask("t1"))
+	lease, err := cl.Lease(ctx, time.Second)
+	if err != nil || lease == nil {
+		t.Fatalf("lease after prune: %+v, %v", lease, err)
+	}
+	if cl.WorkerID() == old {
+		t.Fatal("client did not re-register")
+	}
+	if dup, err := cl.Complete(ctx, lease, goodCounts(0)); err != nil || dup {
+		t.Fatalf("complete: dup=%v err=%v", dup, err)
+	}
+	expectDelivered(t, ch, goodCounts(0))
+}
+
+func TestBackoffCappedWithJitter(t *testing.T) {
+	cl := NewClient(ClientConfig{BaseURL: "http://unused", Name: "b", BackoffBase: 100 * time.Millisecond, BackoffMax: time.Second, Seed: 1})
+	for attempt := 0; attempt < 12; attempt++ {
+		full := min(cl.b0<<uint(attempt), cl.bmax)
+		if cl.b0<<uint(attempt) <= 0 { // overflow far past the cap
+			full = cl.bmax
+		}
+		for i := 0; i < 20; i++ {
+			d := cl.backoff(attempt)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestClientBaseURLNormalization(t *testing.T) {
+	cl := NewClient(ClientConfig{BaseURL: "127.0.0.1:9090", Name: "n"})
+	if cl.base != "http://127.0.0.1:9090" {
+		t.Fatalf("base = %q", cl.base)
+	}
+	cl = NewClient(ClientConfig{BaseURL: "https://host:1/", Name: "n"})
+	if cl.base != "https://host:1" {
+		t.Fatalf("base = %q", cl.base)
+	}
+}
+
+func TestHandlerRejectsWrongMethod(t *testing.T) {
+	c := NewCoordinator(Config{TTL: time.Minute})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + PathPrefix + "lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET lease = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+PathPrefix+"register", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body = %d", resp.StatusCode)
+	}
+}

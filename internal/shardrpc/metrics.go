@@ -1,0 +1,60 @@
+package shardrpc
+
+import "repro/internal/telemetry"
+
+// coordMetrics holds the coordinator's telemetry instruments. The zero
+// value (before Instrument) is fully functional: every method no-ops on
+// nil instruments.
+type coordMetrics struct {
+	workers      *telemetry.Gauge
+	leases       *telemetry.CounterVec // label: event
+	stale        *telemetry.Counter
+	garbage      *telemetry.Counter
+	shardSecVec  *telemetry.HistogramVec // label: worker
+	instrumented bool
+}
+
+// leaseEvent counts one lease lifecycle event: granted, renewed, expired
+// or stolen.
+func (m *coordMetrics) leaseEvent(event string) {
+	m.leases.With(event).Inc()
+}
+
+// shardSeconds records how long a remote worker held a lease from grant to
+// accepted completion.
+func (m *coordMetrics) shardSeconds(worker string, seconds float64) {
+	m.shardSecVec.With(worker).Observe(seconds)
+}
+
+// Instrument registers the coordinator's metric families on reg:
+//
+//	dftsp_remote_workers                    gauge     connected workers
+//	dftsp_remote_leases_outstanding         gauge     shards leased to remote workers right now
+//	dftsp_remote_leases_total{event}        counter   granted / renewed / expired / stolen
+//	dftsp_remote_stale_completions_total    counter   completions rejected by generation fencing
+//	dftsp_remote_garbage_completions_total  counter   completions rejected by the exact-shots guard
+//	dftsp_remote_shard_seconds{worker}      histogram lease-to-completion wall time per worker
+//
+// Instrument is idempotent per registry and must be called before workers
+// connect (registration is not synchronized with metric writes).
+func (c *Coordinator) Instrument(reg *telemetry.Registry) {
+	c.metrics = coordMetrics{
+		workers: reg.Gauge("dftsp_remote_workers",
+			"Remote shard workers currently registered with this coordinator."),
+		leases: reg.CounterVec("dftsp_remote_leases_total",
+			"Shard lease lifecycle events by type (granted, renewed, expired, stolen).", "event"),
+		stale: reg.Counter("dftsp_remote_stale_completions_total",
+			"Shard completions rejected because their lease generation was stale."),
+		garbage: reg.Counter("dftsp_remote_garbage_completions_total",
+			"Shard completions rejected because their counts failed the exact-shots guard."),
+		shardSecVec: reg.HistogramVec("dftsp_remote_shard_seconds",
+			"Wall-clock seconds from lease grant to accepted completion, per worker.",
+			telemetry.LatencyBuckets, "worker"),
+		instrumented: true,
+	}
+	reg.GaugeFunc("dftsp_remote_leases_outstanding",
+		"Shards currently leased to remote workers.", func() float64 {
+			_, leases := c.Stats()
+			return float64(leases)
+		})
+}
